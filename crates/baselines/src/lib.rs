@@ -1,0 +1,89 @@
+//! Algorithmically faithful analogs of the Python libraries the paper
+//! benchmarks against (§6): SciPy, CuPy, PyTorch, and TensorFlow.
+//!
+//! Per `DESIGN.md`'s substitution table, each baseline reproduces the
+//! *structural* choices that determine the competitor's performance, not its
+//! exact code:
+//!
+//! | Library | Reproduced structure |
+//! |---|---|
+//! | SciPy ([`scipy`]) | single-threaded textbook CSR kernels; everything on one core |
+//! | CuPy ([`cupy`]) | cuSPARSE-style warp-per-row CSR vector kernel (wasted lanes on short rows); GMRES with CPU-side Hessenberg least squares, orthonormal projection, and residual checks only at the end of each restart cycle (§6.2.1's three differences) |
+//! | PyTorch ([`torch`]) | classical (row-balanced, not nnz-balanced) CSR kernel plus COO scatter-add with atomic-update penalty; heavy per-op dispatcher overhead |
+//! | TensorFlow ([`tf`]) | COO only (as the paper notes), via a two-pass gather + sorted-segment-sum kernel with an intermediate buffer; the largest per-op overhead |
+//!
+//! All baselines execute real numerics (their results are bit-compatible
+//! with the engine's reference SpMV up to reduction order) and charge their
+//! modeled cost to their own executor's virtual timeline.
+
+#![warn(missing_docs)]
+
+pub mod cupy;
+pub mod scipy;
+pub mod tf;
+pub mod torch;
+
+use gko::executor::Backend;
+use gko::Executor;
+use pygko_sim::DeviceSpec;
+
+/// Per-operation dispatch overhead of each framework, in virtual ns.
+///
+/// Calibration notes: PyTorch's dispatcher costs ~5–10 us per eager op
+/// (documented extensively in the PyTorch dispatcher profiling literature);
+/// TensorFlow's eager executor is heavier; CuPy is a thin wrapper above
+/// cuSPARSE; SciPy calls C directly.
+pub mod overhead {
+    /// SciPy: one C call.
+    pub const SCIPY_NS: f64 = 600.0;
+    /// CuPy: thin Python wrapper + cuSPARSE descriptor handling.
+    pub const CUPY_NS: f64 = 2_000.0;
+    /// PyTorch: eager dispatcher + autograd bookkeeping.
+    pub const TORCH_NS: f64 = 8_000.0;
+    /// TensorFlow: eager op executor.
+    pub const TF_NS: f64 = 25_000.0;
+}
+
+/// Executor modeling the paper's SciPy baseline platform: one Xeon core.
+pub fn scipy_executor() -> Executor {
+    let mut spec = DeviceSpec::single_core();
+    spec.name = "SciPy (1 core)".to_owned();
+    Executor::with_spec(Backend::Reference, 0, spec)
+}
+
+/// Executor modeling the GPU the Python GPU libraries run on.
+pub fn gpu_executor(library: &str) -> Executor {
+    let mut spec = DeviceSpec::a100();
+    spec.name = format!("{library} on NVIDIA A100");
+    Executor::with_spec(Backend::Cuda, 0, spec)
+}
+
+/// Executor for CPU runs of torch/tf with a given thread count.
+pub fn cpu_executor(library: &str, threads: usize) -> Executor {
+    let mut spec = DeviceSpec::xeon_8368(threads);
+    spec.name = format!("{library} on Xeon 8368 ({threads} threads)");
+    Executor::with_spec(Backend::Omp, 0, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executors_carry_library_names() {
+        assert_eq!(scipy_executor().name(), "SciPy (1 core)");
+        assert!(gpu_executor("CuPy").name().contains("CuPy"));
+        assert!(cpu_executor("PyTorch", 8).name().contains("8 threads"));
+    }
+
+    #[test]
+    fn overhead_ordering_matches_framework_weight() {
+        let order = [
+            overhead::SCIPY_NS,
+            overhead::CUPY_NS,
+            overhead::TORCH_NS,
+            overhead::TF_NS,
+        ];
+        assert!(order.windows(2).all(|w| w[0] < w[1]), "{order:?}");
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion wall-clock benchmarks of the facade's dynamic layer — the
+//! real-host-time counterpart of the §6.3 virtual-time overhead study.
+//!
+//! `cargo bench -p pygko-bench --bench facade`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gko::linop::LinOp;
+use gko::matrix::{Csr, Dense};
+use gko::{Dim2, Executor};
+use pyginkgo as pg;
+
+fn bench_binding_overhead(c: &mut Criterion) {
+    let n = 1000usize;
+    let t: Vec<(usize, usize, f64)> = (0..n).map(|i| (i, i, 2.0)).collect();
+
+    // Engine direct.
+    let exec = Executor::reference();
+    let a = Csr::<f64, i32>::from_triplets(&exec, Dim2::square(n), &t).unwrap();
+    let b = Dense::<f64>::vector(&exec, n, 1.0);
+    let mut x = Dense::zeros(&exec, Dim2::new(n, 1));
+
+    // Facade.
+    let dev = pg::device("reference").unwrap();
+    let m = pg::SparseMatrix::from_triplets(&dev, (n, n), &t, "double", "int32", "Csr").unwrap();
+    let bt = pg::as_tensor_fill(&dev, (n, 1), "double", 1.0).unwrap();
+    let mut xt = pg::as_tensor_fill(&dev, (n, 1), "double", 0.0).unwrap();
+
+    let mut group = c.benchmark_group("binding_overhead_diag1000");
+    group.bench_function("engine_spmv", |bench| {
+        bench.iter(|| a.apply(&b, &mut x).unwrap())
+    });
+    group.bench_function("facade_spmv", |bench| {
+        bench.iter(|| m.spmv_into(&bt, &mut xt).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_dispatch_layers(c: &mut Criterion) {
+    let dev = pg::device("reference").unwrap();
+    let mut group = c.benchmark_group("facade_calls");
+    group.bench_function("dtype_parse", |bench| {
+        bench.iter(|| "float64".parse::<pg::DType>().unwrap())
+    });
+    group.bench_function("tensor_construct_16", |bench| {
+        bench.iter(|| pg::as_tensor_fill(&dev, (16, 1), "double", 1.0).unwrap())
+    });
+    let t16 = pg::as_tensor_fill(&dev, (16, 1), "double", 1.0).unwrap();
+    group.bench_function("tensor_dot_16", |bench| {
+        bench.iter(|| t16.dot(&t16).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_binding_overhead, bench_dispatch_layers
+}
+criterion_main!(benches);

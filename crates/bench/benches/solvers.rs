@@ -1,0 +1,84 @@
+//! Criterion wall-clock benchmarks of the solver iterations (real host
+//! execution of the real numerics).
+//!
+//! `cargo bench -p pygko-bench --bench solvers`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gko::linop::LinOp;
+use gko::matrix::{Csr, Dense};
+use gko::preconditioner::{Ilu, Jacobi};
+use gko::solver::{BiCgStab, Cg, Cgs, Gmres};
+use gko::stop::Criteria;
+use gko::{Dim2, Executor};
+use pygko_matgen::generators::poisson2d;
+use std::sync::Arc;
+
+fn setup() -> (Executor, Arc<Csr<f64, i32>>, Dense<f64>) {
+    let exec = Executor::reference();
+    let gen = poisson2d("p", 60, 60);
+    let a = Arc::new(
+        Csr::<f64, i32>::from_triplets(&exec, Dim2::new(gen.rows, gen.cols), &gen.triplets)
+            .unwrap(),
+    );
+    let b = Dense::<f64>::vector(&exec, gen.rows, 1.0);
+    (exec, a, b)
+}
+
+fn bench_krylov_iterations(c: &mut Criterion) {
+    let (exec, a, b) = setup();
+    let n = a.size().rows;
+    let criteria = Criteria::iterations(20);
+    let mut group = c.benchmark_group("krylov_20_iterations_poisson2d_60");
+
+    group.bench_function("cg", |bench| {
+        let s = Cg::new(a.clone() as Arc<dyn LinOp<f64>>).unwrap().with_criteria(criteria);
+        bench.iter(|| {
+            let mut x = Dense::<f64>::zeros(&exec, Dim2::new(n, 1));
+            s.apply(&b, &mut x).unwrap();
+        })
+    });
+    group.bench_function("cgs", |bench| {
+        let s = Cgs::new(a.clone() as Arc<dyn LinOp<f64>>).unwrap().with_criteria(criteria);
+        bench.iter(|| {
+            let mut x = Dense::<f64>::zeros(&exec, Dim2::new(n, 1));
+            s.apply(&b, &mut x).unwrap();
+        })
+    });
+    group.bench_function("bicgstab", |bench| {
+        let s = BiCgStab::new(a.clone() as Arc<dyn LinOp<f64>>)
+            .unwrap()
+            .with_criteria(criteria);
+        bench.iter(|| {
+            let mut x = Dense::<f64>::zeros(&exec, Dim2::new(n, 1));
+            s.apply(&b, &mut x).unwrap();
+        })
+    });
+    group.bench_function("gmres30", |bench| {
+        let s = Gmres::new(a.clone() as Arc<dyn LinOp<f64>>)
+            .unwrap()
+            .with_krylov_dim(30)
+            .with_criteria(criteria);
+        bench.iter(|| {
+            let mut x = Dense::<f64>::zeros(&exec, Dim2::new(n, 1));
+            s.apply(&b, &mut x).unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_preconditioner_generation(c: &mut Criterion) {
+    let (_, a, _) = setup();
+    let mut group = c.benchmark_group("preconditioner_generation_poisson2d_60");
+    group.bench_function("jacobi", |bench| {
+        bench.iter(|| Jacobi::new(&*a).unwrap())
+    });
+    group.bench_function("ilu0", |bench| bench.iter(|| Ilu::new(&*a).unwrap()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_krylov_iterations, bench_preconditioner_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion wall-clock microbenchmarks of the real SpMV kernels.
+//!
+//! These measure actual host execution time (unlike the figure harnesses,
+//! which report deterministic virtual time) and exist for regression
+//! tracking of the kernels themselves.
+//!
+//! `cargo bench -p pygko-bench --bench spmv`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gko::linop::LinOp;
+use gko::matrix::{Coo, Csr, Dense, Ell, Sellp, SpmvStrategy};
+use gko::{Dim2, Executor};
+use pygko_matgen::generators::{circuit, poisson2d};
+
+fn bench_formats(c: &mut Criterion) {
+    let exec = Executor::reference();
+    let gen = poisson2d("p", 200, 200);
+    let t: Vec<(usize, usize, f64)> = gen.triplets.clone();
+    let dim = Dim2::new(gen.rows, gen.cols);
+    let csr = Csr::<f64, i32>::from_triplets(&exec, dim, &t).unwrap();
+    let coo = Coo::from_csr(&csr);
+    let ell = Ell::from_csr(&csr);
+    let sellp = Sellp::from_csr(&csr);
+    let b = Dense::<f64>::vector(&exec, gen.cols, 1.0);
+    let mut x = Dense::zeros(&exec, Dim2::new(gen.rows, 1));
+
+    let mut group = c.benchmark_group("spmv_formats_poisson2d_200");
+    group.throughput(Throughput::Elements(gen.nnz() as u64));
+    group.bench_function("csr", |bench| bench.iter(|| csr.apply(&b, &mut x).unwrap()));
+    group.bench_function("coo", |bench| bench.iter(|| coo.apply(&b, &mut x).unwrap()));
+    group.bench_function("ell", |bench| bench.iter(|| ell.apply(&b, &mut x).unwrap()));
+    group.bench_function("sellp", |bench| {
+        bench.iter(|| sellp.apply(&b, &mut x).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let exec = Executor::reference();
+    let gen = circuit("c", 50_000, 4, 3, 9);
+    let dim = Dim2::new(gen.rows, gen.cols);
+    let b = Dense::<f64>::vector(&exec, gen.cols, 1.0);
+    let mut x = Dense::zeros(&exec, Dim2::new(gen.rows, 1));
+
+    let mut group = c.benchmark_group("spmv_strategy_circuit_50k");
+    group.throughput(Throughput::Elements(gen.nnz() as u64));
+    for (name, strategy) in [
+        ("classical", SpmvStrategy::Classical),
+        ("load_balance", SpmvStrategy::LoadBalance),
+    ] {
+        let a = Csr::<f64, i32>::from_triplets(&exec, dim, &gen.triplets)
+            .unwrap()
+            .with_strategy(strategy);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &a, |bench, a| {
+            bench.iter(|| a.apply(&b, &mut x).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_value_types(c: &mut Criterion) {
+    let exec = Executor::reference();
+    let gen = poisson2d("p", 150, 150);
+    let dim = Dim2::new(gen.rows, gen.cols);
+    let mut group = c.benchmark_group("spmv_value_types_poisson2d_150");
+    group.throughput(Throughput::Elements(gen.nnz() as u64));
+
+    macro_rules! run {
+        ($v:ty, $name:expr) => {{
+            let t: Vec<(usize, usize, $v)> = gen
+                .triplets
+                .iter()
+                .map(|&(r, c, v)| (r, c, <$v as gko::Value>::from_f64(v)))
+                .collect();
+            let a = Csr::<$v, i32>::from_triplets(&exec, dim, &t).unwrap();
+            let b = Dense::<$v>::filled(&exec, Dim2::new(gen.cols, 1), <$v as gko::Value>::one());
+            let mut x = Dense::<$v>::zeros(&exec, Dim2::new(gen.rows, 1));
+            group.bench_function($name, |bench| bench.iter(|| a.apply(&b, &mut x).unwrap()));
+        }};
+    }
+    run!(pygko_half::Half, "half");
+    run!(f32, "float");
+    run!(f64, "double");
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_formats, bench_strategies, bench_value_types
+}
+criterion_main!(benches);

@@ -1,0 +1,204 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. CSR SpMV strategy — nnz-balanced vs classical row-balanced chunks;
+//! 2. GMRES variant — Ginkgo's Givens/per-iteration-check vs CuPy's
+//!    projection/end-of-cycle-check (cost per iteration);
+//! 3. Facade dispatch — pre-instantiated enum table vs boxed `dyn LinOp`
+//!    virtual calls (real wall-clock microbenchmark, not virtual time);
+//! 4. Preconditioner choice — iterations to convergence for none / Jacobi /
+//!    block-Jacobi / ILU / IC on an SPD system.
+//!
+//! `cargo run -p pygko-bench --bin ablations --release`
+
+use gko::linop::LinOp;
+use gko::matrix::{Csr, Dense, SpmvStrategy};
+use gko::solver::{Cg, Gmres};
+use gko::stop::Criteria;
+use gko::{Dim2, Executor};
+use pygko_baselines::cupy::CupyGmres;
+use pygko_baselines::gpu_executor;
+use pygko_bench::{cast_triplets, fmt, solver_iters, time_spmv, Report};
+use pygko_matgen::generators::{poisson2d, rmat};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    spmv_strategy();
+    gmres_variant();
+    dispatch_cost();
+    preconditioner_effect();
+}
+
+/// Ablation 1: the load-balanced partition is what wins on skewed matrices
+/// and is neutral on regular ones.
+fn spmv_strategy() {
+    let mut report = Report::new(
+        "Ablation 1: CSR SpMV strategy (virtual time, A100)",
+        &["matrix", "nnz", "classical s", "load-balanced s", "gain"],
+    );
+    for gen in [
+        poisson2d("regular (poisson2d 500)", 500, 500),
+        // Power-law degrees: a handful of hub rows hold a large share of
+        // the nonzeros — the classical equal-row partition's worst case.
+        rmat("skewed (rmat-17 power law)", 17, 8, 7),
+    ] {
+        let t32 = cast_triplets::<f32>(&gen);
+        let dim = Dim2::new(gen.rows, gen.cols);
+        let exec = Executor::cuda(0);
+        let classical = Csr::<f32, i32>::from_triplets(&exec, dim, &t32)
+            .unwrap()
+            .with_strategy(SpmvStrategy::Classical);
+        let t_classical = time_spmv(&exec, &classical, gen.rows);
+        let balanced = Csr::<f32, i32>::from_triplets(&exec, dim, &t32)
+            .unwrap()
+            .with_strategy(SpmvStrategy::LoadBalance);
+        let t_balanced = time_spmv(&exec, &balanced, gen.rows);
+        report.row(vec![
+            gen.name.clone(),
+            gen.nnz().to_string(),
+            fmt(t_classical),
+            fmt(t_balanced),
+            format!("{:.2}x", t_classical / t_balanced),
+        ]);
+    }
+    report.print();
+    report.write_csv("ablation_spmv_strategy").expect("csv");
+}
+
+/// Ablation 2: the two GMRES formulations of §6.2.1, cost per iteration at
+/// a fixed iteration budget.
+fn gmres_variant() {
+    let iters = solver_iters();
+    let mut report = Report::new(
+        "Ablation 2: GMRES variant cost (fixed iterations, A100)",
+        &["n", "Ginkgo s/iter", "CuPy-style s/iter", "ratio"],
+    );
+    for n in [500usize, 5_000, 50_000] {
+        let gen = poisson2d("g", (n as f64).sqrt() as usize, (n as f64).sqrt() as usize);
+        let t64 = cast_triplets::<f64>(&gen);
+        let dim = Dim2::new(gen.rows, gen.cols);
+        let criteria = Criteria::iterations(iters);
+
+        let gk = Executor::cuda(0);
+        let a = Arc::new(Csr::<f64, i32>::from_triplets(&gk, dim, &t64).unwrap());
+        let solver = Gmres::new(a.clone() as Arc<dyn LinOp<f64>>)
+            .unwrap()
+            .with_krylov_dim(30)
+            .with_criteria(criteria);
+        let b = Dense::<f64>::vector(&gk, gen.rows, 1.0);
+        let mut x = Dense::<f64>::vector(&gk, gen.rows, 0.0);
+        let t0 = gk.timeline().snapshot();
+        solver.apply(&b, &mut x).unwrap();
+        let gko_tpi = gk.timeline().snapshot().since(&t0).seconds() / iters as f64;
+
+        let cu = gpu_executor("CuPy-style");
+        let a_cu = Arc::new(Csr::<f64, i32>::from_triplets(&cu, dim, &t64).unwrap());
+        let solver = CupyGmres::new(a_cu, 30, criteria);
+        let b = Dense::<f64>::vector(&cu, gen.rows, 1.0);
+        let mut x = Dense::<f64>::vector(&cu, gen.rows, 0.0);
+        let t0 = cu.timeline().snapshot();
+        solver.apply(&b, &mut x).unwrap();
+        let cupy_tpi = cu.timeline().snapshot().since(&t0).seconds() / iters as f64;
+
+        report.row(vec![
+            gen.rows.to_string(),
+            fmt(gko_tpi),
+            fmt(cupy_tpi),
+            format!("{:.2}", gko_tpi / cupy_tpi),
+        ]);
+    }
+    report.print();
+    report.write_csv("ablation_gmres").expect("csv");
+    println!("(ratios slightly above 1 reproduce §6.2.1: CuPy's CPU Hessenberg wins at small sizes)");
+}
+
+/// Ablation 3: dispatch mechanism — measured in *real wall-clock* because
+/// this is host-side binding machinery, not simulated device work.
+fn dispatch_cost() {
+    let dev = pyginkgo::device("reference").unwrap();
+    let n = 64usize;
+    let t: Vec<(usize, usize, f64)> = (0..n).map(|i| (i, i, 2.0)).collect();
+    let m = pyginkgo::SparseMatrix::from_triplets(&dev, (n, n), &t, "double", "int32", "Csr")
+        .unwrap();
+    let b = pyginkgo::as_tensor_fill(&dev, (n, 1), "double", 1.0).unwrap();
+    let mut x = pyginkgo::as_tensor_fill(&dev, (n, 1), "double", 0.0).unwrap();
+
+    // Pre-instantiated enum dispatch (the facade).
+    let reps = 20_000;
+    let start = Instant::now();
+    for _ in 0..reps {
+        m.spmv_into(&b, &mut x).unwrap();
+    }
+    let enum_ns = start.elapsed().as_nanos() as f64 / reps as f64;
+
+    // Boxed dyn-trait virtual call (the alternative design).
+    let exec = Executor::reference();
+    let t64 = cast_triplets::<f64>(&pygko_matgen::generators::diagonal_mass("d", n, 1.0, 3));
+    let a: Arc<dyn LinOp<f64>> =
+        Arc::new(Csr::<f64, i32>::from_triplets(&exec, Dim2::square(n), &t64).unwrap());
+    let bd = Dense::<f64>::vector(&exec, n, 1.0);
+    let mut xd = Dense::zeros(&exec, Dim2::new(n, 1));
+    let start = Instant::now();
+    for _ in 0..reps {
+        a.apply(&bd, &mut xd).unwrap();
+    }
+    let dyn_ns = start.elapsed().as_nanos() as f64 / reps as f64;
+
+    let mut report = Report::new(
+        "Ablation 3: dispatch mechanism (REAL wall clock, tiny matrix)",
+        &["mechanism", "ns/call"],
+    );
+    report.row(vec!["facade enum dispatch + GIL + validation".into(), fmt(enum_ns)]);
+    report.row(vec!["bare dyn LinOp virtual call".into(), fmt(dyn_ns)]);
+    report.print();
+    report.write_csv("ablation_dispatch").expect("csv");
+    println!(
+        "(the facade's extra {:.0} ns/call is the §5.1 dynamic layer; it is amortized over kernel work)",
+        (enum_ns - dyn_ns).max(0.0)
+    );
+}
+
+/// Ablation 4: preconditioners trade setup cost for iteration count.
+fn preconditioner_effect() {
+    let gen = poisson2d("poisson2d 120", 120, 120);
+    let exec = Executor::cuda(0);
+    let t64 = cast_triplets::<f64>(&gen);
+    let a = Arc::new(
+        Csr::<f64, i32>::from_triplets(&exec, Dim2::new(gen.rows, gen.cols), &t64).unwrap(),
+    );
+    let mut report = Report::new(
+        "Ablation 4: preconditioner effect on CG (poisson2d 120x120, tol 1e-8)",
+        &["preconditioner", "iterations", "converged", "solve virtual s"],
+    );
+    for name in ["none", "jacobi", "block-jacobi(4)", "ilu", "ic"] {
+        let pre: Option<Arc<dyn LinOp<f64>>> = match name {
+            "none" => None,
+            "jacobi" => Some(Arc::new(gko::preconditioner::Jacobi::new(&*a).unwrap())),
+            "block-jacobi(4)" => Some(Arc::new(
+                gko::preconditioner::Jacobi::with_block_size(&*a, 4).unwrap(),
+            )),
+            "ilu" => Some(Arc::new(gko::preconditioner::Ilu::new(&*a).unwrap())),
+            _ => Some(Arc::new(gko::preconditioner::Ic::new(&*a).unwrap())),
+        };
+        let mut solver = Cg::new(a.clone() as Arc<dyn LinOp<f64>>)
+            .unwrap()
+            .with_criteria(Criteria::iterations_and_reduction(5000, 1e-8));
+        if let Some(p) = pre {
+            solver = solver.with_preconditioner(p).unwrap();
+        }
+        let b = Dense::<f64>::vector(&exec, gen.rows, 1.0);
+        let mut x = Dense::<f64>::vector(&exec, gen.rows, 0.0);
+        let t0 = exec.timeline().snapshot();
+        solver.apply(&b, &mut x).unwrap();
+        let secs = exec.timeline().snapshot().since(&t0).seconds();
+        let rec = solver.logger().snapshot();
+        report.row(vec![
+            name.into(),
+            rec.iterations.to_string(),
+            rec.converged().to_string(),
+            fmt(secs),
+        ]);
+    }
+    report.print();
+    report.write_csv("ablation_precond").expect("csv");
+}

@@ -1,0 +1,196 @@
+//! Shared harness utilities for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md`'s per-experiment index): it materializes the relevant
+//! matrix suite, runs the kernels, reads the deterministic virtual-time
+//! clocks, prints an aligned text table, and writes a CSV to `results/`.
+//!
+//! Environment knobs:
+//!
+//! * `PYGKO_BENCH_QUICK=1` — shrink suites to their smaller members for a
+//!   fast smoke run (used by CI-style validation).
+//! * `PYGKO_SOLVER_ITERS` — iterations for the fixed-iteration solver
+//!   benchmarks (default 200; the paper used 1000 — the metric is time per
+//!   iteration, so the count only affects noise, which we do not have).
+
+#![warn(missing_docs)]
+
+use gko::linop::LinOp;
+use gko::matrix::Dense;
+use gko::{Dim2, Executor, Value};
+use pygko_matgen::{GeneratedMatrix, MatrixInfo};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// True when a quick (reduced-size) run was requested.
+pub fn quick_mode() -> bool {
+    std::env::var("PYGKO_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Iteration count for fixed-iteration solver benches.
+///
+/// The paper runs 1000 iterations; the reported metric is *time per
+/// iteration*, which in this deterministic simulation is independent of the
+/// count, so the default is a faster 100. Set `PYGKO_SOLVER_ITERS=1000` to
+/// match the paper exactly.
+pub fn solver_iters() -> usize {
+    std::env::var("PYGKO_SOLVER_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100)
+}
+
+/// Filters a suite down for quick mode (keeps every third matrix).
+pub fn maybe_shrink(suite: Vec<MatrixInfo>) -> Vec<MatrixInfo> {
+    if quick_mode() {
+        suite.into_iter().step_by(3).collect()
+    } else {
+        suite
+    }
+}
+
+/// Converts a generated matrix's triplets to value type `V`.
+pub fn cast_triplets<V: Value>(m: &GeneratedMatrix) -> Vec<(usize, usize, V)> {
+    m.triplets
+        .iter()
+        .map(|&(r, c, v)| (r, c, V::from_f64(v)))
+        .collect()
+}
+
+/// Runs one SpMV through any engine-level operator and returns the virtual
+/// seconds it charged to `exec`.
+pub fn time_spmv<V: Value>(exec: &Executor, op: &dyn LinOp<V>, n_cols: usize) -> f64 {
+    let b = Dense::<V>::filled(exec, Dim2::new(n_cols, 1), V::one());
+    let mut x = Dense::<V>::zeros(exec, Dim2::new(op.size().rows, 1));
+    let t0 = exec.timeline().snapshot();
+    op.apply(&b, &mut x).expect("spmv");
+    exec.synchronize();
+    exec.timeline().snapshot().since(&t0).seconds()
+}
+
+/// GFLOP/s of an SpMV given its nonzero count and virtual seconds.
+pub fn gflops(nnz: usize, seconds: f64) -> f64 {
+    2.0 * nnz as f64 / seconds / 1e9
+}
+
+/// An output table streamed to stdout and a CSV file.
+pub struct Report {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Starts a report with the given title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Report {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the aligned table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        println!("\n=== {} ===", self.title);
+        let mut line = String::new();
+        for (h, w) in self.headers.iter().zip(&widths) {
+            let _ = write!(line, "{h:>w$}  ");
+        }
+        println!("{line}");
+        println!("{}", "-".repeat(line.len().min(160)));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (cell, w) in row.iter().zip(&widths) {
+                let _ = write!(line, "{cell:>w$}  ");
+            }
+            println!("{line}");
+        }
+    }
+
+    /// Writes the table as CSV under `results/<name>.csv`.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// The workspace `results/` directory.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+/// Formats a float with engineering-friendly precision.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.01 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrip() {
+        let mut r = Report::new("t", &["a", "b"]);
+        r.row(vec!["1".into(), "2".into()]);
+        r.print();
+        let path = r.write_csv("unit_test_report").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn gflops_math() {
+        assert_eq!(gflops(1_000_000, 2e-3), 1.0);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1.5), "1.500");
+        assert!(fmt(1e-5).contains('e'));
+        assert!(fmt(123456.0).contains('e'));
+    }
+
+    #[test]
+    fn time_spmv_returns_positive_virtual_time() {
+        let exec = Executor::cuda(0);
+        let a = gko::matrix::Csr::<f32, i32>::from_triplets(
+            &exec,
+            Dim2::square(100),
+            &(0..100).map(|i| (i, i, 1.0f32)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(time_spmv(&exec, &a, 100) > 0.0);
+    }
+}

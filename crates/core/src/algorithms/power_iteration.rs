@@ -1,0 +1,138 @@
+//! Power iteration — the simplest facade-level eigensolver.
+
+use crate::error::{PyGinkgoError, PyResult};
+use crate::matrix::SparseMatrix;
+use crate::tensor::{as_tensor, Tensor};
+use pygko_sim::rng::Xoshiro256pp;
+
+/// Result of a power iteration run.
+pub struct PowerResult {
+    /// Dominant eigenvalue estimate (Rayleigh quotient).
+    pub value: f64,
+    /// Normalized eigenvector estimate.
+    pub vector: Tensor,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final `||A v - lambda v||`.
+    pub residual: f64,
+}
+
+/// Estimates the dominant eigenpair of `matrix` by power iteration.
+///
+/// Stops when the Rayleigh-quotient change drops below `tol` or after
+/// `max_iters` iterations.
+pub fn power_iteration(
+    matrix: &SparseMatrix,
+    max_iters: usize,
+    tol: f64,
+    seed: u64,
+) -> PyResult<PowerResult> {
+    let (n, nc) = matrix.shape();
+    if n != nc {
+        return Err(PyGinkgoError::Value(
+            "power iteration needs a square matrix".into(),
+        ));
+    }
+    let device = matrix.device().clone();
+    let dtype = matrix.dtype().name();
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let data: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+    let mut v = as_tensor(data, &device, (n, 1), dtype)?;
+    let norm = v.norm();
+    if norm == 0.0 {
+        return Err(PyGinkgoError::Runtime("zero starting vector".into()));
+    }
+    v.scale(1.0 / norm);
+
+    let mut lambda = 0.0f64;
+    let mut iterations = 0;
+    for it in 1..=max_iters {
+        iterations = it;
+        let mut av = matrix.spmv(&v)?;
+        let norm = av.norm();
+        if norm == 0.0 {
+            return Err(PyGinkgoError::Runtime(
+                "matrix annihilated the iterate (nilpotent direction)".into(),
+            ));
+        }
+        av.scale(1.0 / norm);
+        let new_lambda = {
+            let aw = matrix.spmv(&av)?;
+            av.dot(&aw)?
+        };
+        let done = (new_lambda - lambda).abs() <= tol * (1.0 + new_lambda.abs());
+        lambda = new_lambda;
+        v = av;
+        if done {
+            break;
+        }
+    }
+    let mut res = matrix.spmv(&v)?;
+    res.add_scaled(-lambda, &v)?;
+    Ok(PowerResult {
+        value: lambda,
+        vector: v,
+        iterations,
+        residual: res.norm(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::device;
+
+    #[test]
+    fn finds_dominant_eigenvalue_of_diagonal() {
+        let dev = device("reference").unwrap();
+        let t = vec![(0, 0, 1.0), (1, 1, 5.0), (2, 2, 3.0)];
+        let m = SparseMatrix::from_triplets(&dev, (3, 3), &t, "double", "int32", "Csr").unwrap();
+        let r = power_iteration(&m, 500, 1e-14, 42).unwrap();
+        assert!((r.value - 5.0).abs() < 1e-8, "{}", r.value);
+        // The eigenvector error decays as the square root of the eigenvalue
+        // error, so the residual tolerance is the looser one.
+        assert!(r.residual < 1e-4, "residual {}", r.residual);
+        assert!((r.vector.get(1, 0).unwrap().abs() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn agrees_with_rayleigh_ritz() {
+        let dev = device("reference").unwrap();
+        let n = 25;
+        let mut t = vec![];
+        for i in 0..n {
+            t.push((i, i, 2.0 + (i % 7) as f64));
+            if i > 0 {
+                t.push((i, i - 1, -0.5));
+                t.push((i - 1, i, -0.5));
+            }
+        }
+        let m = SparseMatrix::from_triplets(&dev, (n, n), &t, "double", "int32", "Csr").unwrap();
+        let p = power_iteration(&m, 2000, 1e-13, 3).unwrap();
+        let rr = crate::algorithms::rayleigh_ritz(&m, 3, 60, 3).unwrap();
+        assert!(
+            (p.value - rr[0].value).abs() < 1e-5,
+            "power {} vs ritz {}",
+            p.value,
+            rr[0].value
+        );
+    }
+
+    #[test]
+    fn rectangular_matrix_is_rejected() {
+        let dev = device("reference").unwrap();
+        let m = SparseMatrix::from_triplets(&dev, (2, 3), &[(0, 0, 1.0)], "double", "int32", "Csr")
+            .unwrap();
+        assert!(power_iteration(&m, 10, 1e-6, 0).is_err());
+    }
+
+    #[test]
+    fn iteration_limit_is_respected() {
+        let dev = device("reference").unwrap();
+        // Two close eigenvalues -> slow convergence.
+        let t = vec![(0, 0, 1.0), (1, 1, 0.999)];
+        let m = SparseMatrix::from_triplets(&dev, (2, 2), &t, "double", "int32", "Csr").unwrap();
+        let r = power_iteration(&m, 3, 0.0, 1).unwrap();
+        assert_eq!(r.iterations, 3);
+    }
+}

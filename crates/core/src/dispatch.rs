@@ -1,0 +1,111 @@
+//! The pre-instantiation registry (§5.1).
+//!
+//! C++ function overloading does not exist in Python, so pyGinkgo
+//! pre-instantiates every template combination under a mangled name
+//! (`funcxx_int`, `funcxx_float`) inside the `pyGinkgoBindings` module and
+//! dispatches to them from single-entry-point Python functions. This module
+//! makes that registry explicit: it enumerates every instantiated kernel
+//! the facade can dispatch to, and offers the lookup the dynamic layer uses.
+
+use crate::dtype::{DType, IndexType};
+use crate::error::{PyGinkgoError, PyResult};
+use crate::matrix::MatrixFormat;
+
+/// One pre-instantiated binding, identified by its mangled name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BindingEntry {
+    /// Operation (`"spmv"`, `"convert"`, `"solve"`...).
+    pub op: &'static str,
+    /// Storage format the instantiation is bound to.
+    pub format: MatrixFormat,
+    /// Value type.
+    pub dtype: DType,
+    /// Index type.
+    pub index_type: IndexType,
+}
+
+impl BindingEntry {
+    /// The mangled symbol name, e.g. `"spmv_csr_double_int32"`.
+    pub fn mangled(&self) -> String {
+        format!(
+            "{}_{}_{}_{}",
+            self.op,
+            self.format.name().to_ascii_lowercase(),
+            self.dtype.name(),
+            self.index_type.name()
+        )
+    }
+}
+
+/// Operations with per-(format, dtype, itype) instantiations.
+pub const OPS: [&str; 4] = ["spmv", "spmv_advanced", "convert", "solve"];
+
+/// Enumerates every pre-instantiated binding (the Table 1 cross product
+/// times the formats and operations).
+pub fn registry() -> Vec<BindingEntry> {
+    let mut out = Vec::new();
+    for &op in &OPS {
+        for format in [MatrixFormat::Csr, MatrixFormat::Coo] {
+            for dtype in DType::all() {
+                for index_type in IndexType::all() {
+                    out.push(BindingEntry {
+                        op,
+                        format,
+                        dtype,
+                        index_type,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Resolves the binding a dynamic call dispatches to; errors mirror what a
+/// Python user sees when requesting an uninstantiated combination.
+pub fn lookup(
+    op: &str,
+    format: MatrixFormat,
+    dtype: DType,
+    index_type: IndexType,
+) -> PyResult<BindingEntry> {
+    if !OPS.contains(&op) {
+        return Err(PyGinkgoError::Value(format!("unknown operation '{op}'")));
+    }
+    Ok(BindingEntry {
+        op: OPS.iter().find(|&&o| o == op).copied().expect("checked"),
+        format,
+        dtype,
+        index_type,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_the_full_cross_product() {
+        let reg = registry();
+        // 4 ops x 2 formats x 3 dtypes x 2 index types.
+        assert_eq!(reg.len(), 4 * 2 * 3 * 2);
+        // All mangled names are unique.
+        let mut names: Vec<String> = reg.iter().map(BindingEntry::mangled).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), reg.len());
+    }
+
+    #[test]
+    fn mangling_matches_the_papers_scheme() {
+        let e = lookup("spmv", MatrixFormat::Csr, DType::Double, IndexType::Int32).unwrap();
+        assert_eq!(e.mangled(), "spmv_csr_double_int32");
+        let e = lookup("convert", MatrixFormat::Coo, DType::Half, IndexType::Int64).unwrap();
+        assert_eq!(e.mangled(), "convert_coo_half_int64");
+    }
+
+    #[test]
+    fn unknown_ops_are_rejected() {
+        assert!(lookup("fft", MatrixFormat::Csr, DType::Float, IndexType::Int32).is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Dynamic value and index types (Table 1) with NumPy-style string aliases.
+
+use crate::error::{PyGinkgoError, PyResult};
+use std::fmt;
+use std::str::FromStr;
+
+/// Runtime value type tag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// IEEE binary16 (`"half"`, `"float16"`).
+    Half,
+    /// IEEE binary32 (`"float"`, `"float32"`, `"single"`).
+    Float,
+    /// IEEE binary64 (`"double"`, `"float64"`).
+    Double,
+}
+
+impl DType {
+    /// Canonical Ginkgo name (Table 1's "Value Type" column).
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::Half => "half",
+            DType::Float => "float",
+            DType::Double => "double",
+        }
+    }
+
+    /// Storage size in bytes (Table 1's "Size" column).
+    pub fn bytes(self) -> usize {
+        match self {
+            DType::Half => 2,
+            DType::Float => 4,
+            DType::Double => 8,
+        }
+    }
+
+    /// All supported value types.
+    pub fn all() -> [DType; 3] {
+        [DType::Half, DType::Float, DType::Double]
+    }
+}
+
+impl FromStr for DType {
+    type Err = PyGinkgoError;
+
+    /// Accepts Ginkgo names and common NumPy/PyTorch aliases,
+    /// case-insensitively.
+    fn from_str(s: &str) -> PyResult<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "half" | "float16" | "f16" => Ok(DType::Half),
+            "float" | "float32" | "single" | "f32" => Ok(DType::Float),
+            "double" | "float64" | "f64" => Ok(DType::Double),
+            other => Err(PyGinkgoError::Type(format!(
+                "unsupported dtype '{other}' (expected one of: half, float, double)"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runtime index type tag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IndexType {
+    /// 32-bit signed indices (`"int32"`).
+    Int32,
+    /// 64-bit signed indices (`"int64"`).
+    Int64,
+}
+
+impl IndexType {
+    /// Canonical name (Table 1's "Index Type" column).
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexType::Int32 => "int32",
+            IndexType::Int64 => "int64",
+        }
+    }
+
+    /// Storage size in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            IndexType::Int32 => 4,
+            IndexType::Int64 => 8,
+        }
+    }
+
+    /// All supported index types.
+    pub fn all() -> [IndexType; 2] {
+        [IndexType::Int32, IndexType::Int64]
+    }
+}
+
+impl FromStr for IndexType {
+    type Err = PyGinkgoError;
+
+    fn from_str(s: &str) -> PyResult<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "int32" | "i32" | "int" => Ok(IndexType::Int32),
+            "int64" | "i64" | "long" => Ok(IndexType::Int64),
+            other => Err(PyGinkgoError::Type(format!(
+                "unsupported index type '{other}' (expected int32 or int64)"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for IndexType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_parse_case_insensitively() {
+        assert_eq!("FLOAT64".parse::<DType>().unwrap(), DType::Double);
+        assert_eq!("single".parse::<DType>().unwrap(), DType::Float);
+        assert_eq!("f16".parse::<DType>().unwrap(), DType::Half);
+        assert_eq!("Half".parse::<DType>().unwrap(), DType::Half);
+        assert_eq!("long".parse::<IndexType>().unwrap(), IndexType::Int64);
+        assert_eq!("INT32".parse::<IndexType>().unwrap(), IndexType::Int32);
+    }
+
+    #[test]
+    fn unknown_names_raise_type_errors() {
+        let err = "quad".parse::<DType>().unwrap_err();
+        assert!(err.to_string().contains("TypeError"));
+        assert!(err.to_string().contains("quad"));
+        assert!("int8".parse::<IndexType>().is_err());
+    }
+
+    #[test]
+    fn table_1_names_and_sizes() {
+        assert_eq!(DType::Half.bytes(), 2);
+        assert_eq!(DType::Float.bytes(), 4);
+        assert_eq!(DType::Double.bytes(), 8);
+        assert_eq!(IndexType::Int32.bytes(), 4);
+        assert_eq!(IndexType::Int64.bytes(), 8);
+        assert_eq!(DType::all().len(), 3);
+        assert_eq!(IndexType::all().len(), 2);
+    }
+}

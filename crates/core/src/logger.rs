@@ -1,0 +1,91 @@
+//! The logger object returned by `solver.apply` (Listing 1's
+//! `logger, result = solver.apply(b, x)`).
+
+use gko::log::{ConvergenceLogger, SolveRecord};
+
+/// Diagnostic information about a finished solve.
+#[derive(Clone, Debug)]
+pub struct Logger {
+    record: SolveRecord,
+}
+
+impl Logger {
+    pub(crate) fn from_engine(logger: &ConvergenceLogger) -> Self {
+        Logger {
+            record: logger.snapshot(),
+        }
+    }
+
+    /// Number of iterations performed.
+    pub fn iterations(&self) -> usize {
+        self.record.iterations
+    }
+
+    /// True if a residual-based criterion stopped the iteration.
+    pub fn converged(&self) -> bool {
+        self.record.converged()
+    }
+
+    /// Residual norm before the first iteration.
+    pub fn initial_residual(&self) -> f64 {
+        self.record.initial_residual
+    }
+
+    /// Residual norm at the last check.
+    pub fn final_residual(&self) -> f64 {
+        self.record.final_residual
+    }
+
+    /// Residual norm after each check (one per iteration for most solvers).
+    pub fn residual_history(&self) -> &[f64] {
+        &self.record.residual_history
+    }
+
+    /// Achieved reduction `final / initial`.
+    pub fn reduction(&self) -> f64 {
+        self.record.reduction()
+    }
+
+    /// Human-readable stop reason (`"converged (residual reduction)"`,
+    /// `"max iterations"`, `"breakdown"`, or `"not run"`).
+    pub fn stop_reason(&self) -> &'static str {
+        use gko::stop::StopReason;
+        match self.record.stop_reason {
+            Some(StopReason::ResidualReduction) => "converged (residual reduction)",
+            Some(StopReason::AbsoluteResidual) => "converged (absolute residual)",
+            Some(StopReason::MaxIterations) => "max iterations",
+            Some(StopReason::Breakdown) => "breakdown",
+            None => "not run",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gko::stop::StopReason;
+
+    #[test]
+    fn wraps_engine_record() {
+        let engine = ConvergenceLogger::new();
+        engine.begin(8.0);
+        engine.record_residual(1, 2.0);
+        engine.record_residual(2, 4e-6);
+        engine.finish(2, StopReason::ResidualReduction);
+        let log = Logger::from_engine(&engine);
+        assert_eq!(log.iterations(), 2);
+        assert!(log.converged());
+        assert_eq!(log.initial_residual(), 8.0);
+        assert_eq!(log.final_residual(), 4e-6);
+        assert_eq!(log.residual_history(), &[2.0, 4e-6]);
+        assert!((log.reduction() - 5e-7).abs() < 1e-18);
+        assert_eq!(log.stop_reason(), "converged (residual reduction)");
+    }
+
+    #[test]
+    fn unfinished_solve_reads_not_run() {
+        let log = Logger::from_engine(&ConvergenceLogger::new());
+        assert_eq!(log.stop_reason(), "not run");
+        assert!(!log.converged());
+    }
+}

@@ -1,0 +1,545 @@
+//! Direct solver bindings (Fig. 2): `pg.solver.gmres`, `cg`, `cgs`,
+//! `bicgstab`, `direct`, and the triangular solvers.
+//!
+//! `Solver::apply(b, x)` solves `A x = b` using `x` as the initial guess and
+//! returns the [`Logger`] — Listing 1's `logger, result = solver.apply(b, x)`
+//! (the "result" is `x`, overwritten in place, exactly as the paper
+//! describes).
+
+use crate::device::Device;
+use crate::error::{PyGinkgoError, PyResult};
+use crate::gil::binding_call;
+use crate::logger::Logger;
+use crate::matrix::{MatrixFormat, MatrixImpl, SparseMatrix};
+use crate::preconditioner::{PrecondImpl, Preconditioner};
+use crate::tensor::{Tensor, TensorData};
+use gko::log::ConvergenceLogger;
+use gko::solver::{BiCgStab, Cg, Cgs, Direct, Gmres, LowerTrs, UpperTrs};
+use gko::stop::Criteria;
+use gko::{LinOp, Value};
+use pygko_half::Half;
+use std::sync::Arc;
+
+/// Type-erased solver operator, one variant per value type.
+#[derive(Clone)]
+pub(crate) enum SolverImpl {
+    Half(Arc<dyn LinOp<Half>>),
+    Float(Arc<dyn LinOp<f32>>),
+    Double(Arc<dyn LinOp<f64>>),
+}
+
+/// A ready-to-apply solver bound to a device.
+#[derive(Clone)]
+pub struct Solver {
+    pub(crate) inner: SolverImpl,
+    logger: ConvergenceLogger,
+    name: &'static str,
+    device: Device,
+}
+
+impl Solver {
+    /// Solver algorithm name (`"gmres"`, `"cg"`, ...).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The device the solver runs on.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Solves `A x = b`: `x` is the initial guess on entry, the solution on
+    /// exit. Returns the convergence logger.
+    pub fn apply(&self, b: &Tensor, x: &mut Tensor) -> PyResult<Logger> {
+        let dev = self.device.clone();
+        binding_call(&dev, || {
+            match (&self.inner, b.data(), x.data_mut()) {
+                (SolverImpl::Half(s), TensorData::Half(bd), TensorData::Half(xd)) => {
+                    s.apply(bd, xd).map_err(PyGinkgoError::from)?
+                }
+                (SolverImpl::Float(s), TensorData::Float(bd), TensorData::Float(xd)) => {
+                    s.apply(bd, xd).map_err(PyGinkgoError::from)?
+                }
+                (SolverImpl::Double(s), TensorData::Double(bd), TensorData::Double(xd)) => {
+                    s.apply(bd, xd).map_err(PyGinkgoError::from)?
+                }
+                _ => {
+                    return Err(PyGinkgoError::Type(format!(
+                        "dtype mismatch: solver vs operands ({}/{})",
+                        b.dtype(),
+                        x.dtype()
+                    )))
+                }
+            }
+            Ok(Logger::from_engine(&self.logger))
+        })
+    }
+}
+
+/// Which Krylov algorithm to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Algo {
+    Cg,
+    Cgs,
+    Bicgstab,
+    Gmres { krylov_dim: usize },
+}
+
+impl Algo {
+    fn name(self) -> &'static str {
+        match self {
+            Algo::Cg => "cg",
+            Algo::Cgs => "cgs",
+            Algo::Bicgstab => "bicgstab",
+            Algo::Gmres { .. } => "gmres",
+        }
+    }
+}
+
+fn build_krylov<V: Value>(
+    system: Arc<dyn LinOp<V>>,
+    precond: Option<Arc<dyn LinOp<V>>>,
+    algo: Algo,
+    criteria: Criteria,
+) -> PyResult<(Arc<dyn LinOp<V>>, ConvergenceLogger)> {
+    macro_rules! finish {
+        ($solver:expr) => {{
+            let mut s = $solver.with_criteria(criteria);
+            if let Some(p) = precond {
+                s = s.with_preconditioner(p).map_err(PyGinkgoError::from)?;
+            }
+            let logger = s.logger().clone();
+            Ok((Arc::new(s) as Arc<dyn LinOp<V>>, logger))
+        }};
+    }
+    match algo {
+        Algo::Cg => finish!(Cg::new(system).map_err(PyGinkgoError::from)?),
+        Algo::Cgs => finish!(Cgs::new(system).map_err(PyGinkgoError::from)?),
+        Algo::Bicgstab => finish!(BiCgStab::new(system).map_err(PyGinkgoError::from)?),
+        Algo::Gmres { krylov_dim } => finish!(Gmres::new(system)
+            .map_err(PyGinkgoError::from)?
+            .with_krylov_dim(krylov_dim)),
+    }
+}
+
+fn precond_of_half(p: &Option<Preconditioner>) -> PyResult<Option<Arc<dyn LinOp<Half>>>> {
+    match p {
+        None => Ok(None),
+        Some(p) => match &p.inner {
+            PrecondImpl::Half(op) => Ok(Some(op.clone())),
+            _ => Err(PyGinkgoError::Type(
+                "preconditioner dtype does not match matrix dtype (half)".into(),
+            )),
+        },
+    }
+}
+
+fn precond_of_float(p: &Option<Preconditioner>) -> PyResult<Option<Arc<dyn LinOp<f32>>>> {
+    match p {
+        None => Ok(None),
+        Some(p) => match &p.inner {
+            PrecondImpl::Float(op) => Ok(Some(op.clone())),
+            _ => Err(PyGinkgoError::Type(
+                "preconditioner dtype does not match matrix dtype (float)".into(),
+            )),
+        },
+    }
+}
+
+fn precond_of_double(p: &Option<Preconditioner>) -> PyResult<Option<Arc<dyn LinOp<f64>>>> {
+    match p {
+        None => Ok(None),
+        Some(p) => match &p.inner {
+            PrecondImpl::Double(op) => Ok(Some(op.clone())),
+            _ => Err(PyGinkgoError::Type(
+                "preconditioner dtype does not match matrix dtype (double)".into(),
+            )),
+        },
+    }
+}
+
+fn make_krylov(
+    device: &Device,
+    matrix: &SparseMatrix,
+    precond: Option<Preconditioner>,
+    algo: Algo,
+    criteria: Criteria,
+) -> PyResult<Solver> {
+    binding_call(device, || {
+        macro_rules! arm {
+            ($m:expr, Half) => {{
+                let (op, logger) =
+                    build_krylov::<Half>($m.clone(), precond_of_half(&precond)?, algo, criteria)?;
+                (SolverImpl::Half(op), logger)
+            }};
+            ($m:expr, Float) => {{
+                let (op, logger) =
+                    build_krylov::<f32>($m.clone(), precond_of_float(&precond)?, algo, criteria)?;
+                (SolverImpl::Float(op), logger)
+            }};
+            ($m:expr, Double) => {{
+                let (op, logger) = build_krylov::<f64>(
+                    $m.clone(),
+                    precond_of_double(&precond)?,
+                    algo,
+                    criteria,
+                )?;
+                (SolverImpl::Double(op), logger)
+            }};
+        }
+        let (inner, logger) = match &matrix.inner {
+            MatrixImpl::CsrHalfI32(m) => arm!({ m.clone() as Arc<dyn LinOp<Half>> }, Half),
+            MatrixImpl::CsrHalfI64(m) => arm!({ m.clone() as Arc<dyn LinOp<Half>> }, Half),
+            MatrixImpl::CsrFloatI32(m) => arm!({ m.clone() as Arc<dyn LinOp<f32>> }, Float),
+            MatrixImpl::CsrFloatI64(m) => arm!({ m.clone() as Arc<dyn LinOp<f32>> }, Float),
+            MatrixImpl::CsrDoubleI32(m) => arm!({ m.clone() as Arc<dyn LinOp<f64>> }, Double),
+            MatrixImpl::CsrDoubleI64(m) => arm!({ m.clone() as Arc<dyn LinOp<f64>> }, Double),
+            MatrixImpl::CooHalfI32(m) => arm!({ m.clone() as Arc<dyn LinOp<Half>> }, Half),
+            MatrixImpl::CooHalfI64(m) => arm!({ m.clone() as Arc<dyn LinOp<Half>> }, Half),
+            MatrixImpl::CooFloatI32(m) => arm!({ m.clone() as Arc<dyn LinOp<f32>> }, Float),
+            MatrixImpl::CooFloatI64(m) => arm!({ m.clone() as Arc<dyn LinOp<f32>> }, Float),
+            MatrixImpl::CooDoubleI32(m) => arm!({ m.clone() as Arc<dyn LinOp<f64>> }, Double),
+            MatrixImpl::CooDoubleI64(m) => arm!({ m.clone() as Arc<dyn LinOp<f64>> }, Double),
+        };
+        Ok(Solver {
+            inner,
+            logger,
+            name: algo.name(),
+            device: device.clone(),
+        })
+    })
+}
+
+/// GMRES — Listing 1's
+/// `pg.solver.gmres(dev, mtx, preconditioner, max_iters, krylov_dim,
+/// reduction_factor)`.
+pub fn gmres(
+    device: &Device,
+    matrix: &SparseMatrix,
+    preconditioner: Option<Preconditioner>,
+    max_iters: usize,
+    krylov_dim: usize,
+    reduction_factor: f64,
+) -> PyResult<Solver> {
+    if krylov_dim == 0 {
+        return Err(PyGinkgoError::Value("krylov_dim must be positive".into()));
+    }
+    make_krylov(
+        device,
+        matrix,
+        preconditioner,
+        Algo::Gmres { krylov_dim },
+        Criteria::iterations_and_reduction(max_iters, reduction_factor),
+    )
+}
+
+/// Conjugate Gradient for SPD systems.
+pub fn cg(
+    device: &Device,
+    matrix: &SparseMatrix,
+    preconditioner: Option<Preconditioner>,
+    max_iters: usize,
+    reduction_factor: f64,
+) -> PyResult<Solver> {
+    make_krylov(
+        device,
+        matrix,
+        preconditioner,
+        Algo::Cg,
+        Criteria::iterations_and_reduction(max_iters, reduction_factor),
+    )
+}
+
+/// Conjugate Gradient Squared.
+pub fn cgs(
+    device: &Device,
+    matrix: &SparseMatrix,
+    preconditioner: Option<Preconditioner>,
+    max_iters: usize,
+    reduction_factor: f64,
+) -> PyResult<Solver> {
+    make_krylov(
+        device,
+        matrix,
+        preconditioner,
+        Algo::Cgs,
+        Criteria::iterations_and_reduction(max_iters, reduction_factor),
+    )
+}
+
+/// BiCGStab.
+pub fn bicgstab(
+    device: &Device,
+    matrix: &SparseMatrix,
+    preconditioner: Option<Preconditioner>,
+    max_iters: usize,
+    reduction_factor: f64,
+) -> PyResult<Solver> {
+    make_krylov(
+        device,
+        matrix,
+        preconditioner,
+        Algo::Bicgstab,
+        Criteria::iterations_and_reduction(max_iters, reduction_factor),
+    )
+}
+
+/// Builds a Krylov solver with an iteration-only stopping criterion — the
+/// paper's fixed-iteration solver benchmark mode (§6.2.1).
+pub fn krylov_fixed_iters(
+    device: &Device,
+    matrix: &SparseMatrix,
+    method: &str,
+    iters: usize,
+    krylov_dim: usize,
+) -> PyResult<Solver> {
+    let algo = match method.to_ascii_lowercase().as_str() {
+        "cg" => Algo::Cg,
+        "cgs" => Algo::Cgs,
+        "bicgstab" => Algo::Bicgstab,
+        "gmres" => Algo::Gmres { krylov_dim },
+        other => {
+            return Err(PyGinkgoError::Value(format!(
+                "unknown solver method '{other}'"
+            )))
+        }
+    };
+    make_krylov(device, matrix, None, algo, Criteria::iterations(iters))
+}
+
+fn make_from_csr<F>(device: &Device, matrix: &SparseMatrix, name: &'static str, build: F) -> PyResult<Solver>
+where
+    F: FnOnce(&MatrixImpl) -> PyResult<SolverImpl>,
+{
+    binding_call(device, || {
+        let csr;
+        let source = if matrix.format() == MatrixFormat::Csr {
+            matrix
+        } else {
+            csr = matrix.convert("Csr")?;
+            &csr
+        };
+        Ok(Solver {
+            inner: build(&source.inner)?,
+            logger: ConvergenceLogger::new(),
+            name,
+            device: device.clone(),
+        })
+    })
+}
+
+/// Dense-LU direct solver binding.
+pub fn direct(device: &Device, matrix: &SparseMatrix) -> PyResult<Solver> {
+    make_from_csr(device, matrix, "direct", |inner| {
+        macro_rules! arm {
+            ($m:expr, $tag:ident) => {
+                SolverImpl::$tag(Arc::new(Direct::new($m.as_ref()).map_err(PyGinkgoError::from)?))
+            };
+        }
+        Ok(match inner {
+            MatrixImpl::CsrHalfI32(m) => arm!(m, Half),
+            MatrixImpl::CsrHalfI64(m) => arm!(m, Half),
+            MatrixImpl::CsrFloatI32(m) => arm!(m, Float),
+            MatrixImpl::CsrFloatI64(m) => arm!(m, Float),
+            MatrixImpl::CsrDoubleI32(m) => arm!(m, Double),
+            MatrixImpl::CsrDoubleI64(m) => arm!(m, Double),
+            _ => unreachable!("converted to CSR"),
+        })
+    })
+}
+
+/// Lower triangular solver binding.
+pub fn lower_trs(device: &Device, matrix: &SparseMatrix) -> PyResult<Solver> {
+    make_from_csr(device, matrix, "lower_trs", |inner| {
+        macro_rules! arm {
+            ($m:expr, $tag:ident) => {
+                SolverImpl::$tag(Arc::new(
+                    LowerTrs::new($m.clone()).map_err(PyGinkgoError::from)?,
+                ))
+            };
+        }
+        Ok(match inner {
+            MatrixImpl::CsrHalfI32(m) => arm!(m, Half),
+            MatrixImpl::CsrHalfI64(m) => arm!(m, Half),
+            MatrixImpl::CsrFloatI32(m) => arm!(m, Float),
+            MatrixImpl::CsrFloatI64(m) => arm!(m, Float),
+            MatrixImpl::CsrDoubleI32(m) => arm!(m, Double),
+            MatrixImpl::CsrDoubleI64(m) => arm!(m, Double),
+            _ => unreachable!("converted to CSR"),
+        })
+    })
+}
+
+/// Upper triangular solver binding.
+pub fn upper_trs(device: &Device, matrix: &SparseMatrix) -> PyResult<Solver> {
+    make_from_csr(device, matrix, "upper_trs", |inner| {
+        macro_rules! arm {
+            ($m:expr, $tag:ident) => {
+                SolverImpl::$tag(Arc::new(
+                    UpperTrs::new($m.clone()).map_err(PyGinkgoError::from)?,
+                ))
+            };
+        }
+        Ok(match inner {
+            MatrixImpl::CsrHalfI32(m) => arm!(m, Half),
+            MatrixImpl::CsrHalfI64(m) => arm!(m, Half),
+            MatrixImpl::CsrFloatI32(m) => arm!(m, Float),
+            MatrixImpl::CsrFloatI64(m) => arm!(m, Float),
+            MatrixImpl::CsrDoubleI32(m) => arm!(m, Double),
+            MatrixImpl::CsrDoubleI64(m) => arm!(m, Double),
+            _ => unreachable!("converted to CSR"),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::device;
+    use crate::preconditioner;
+    use crate::tensor::as_tensor_fill;
+
+    fn spd(dev: &Device, n: usize, dtype: &str) -> SparseMatrix {
+        let mut t = vec![];
+        for i in 0..n {
+            t.push((i, i, 4.0));
+            if i > 0 {
+                t.push((i, i - 1, -1.0));
+                t.push((i - 1, i, -1.0));
+            }
+        }
+        SparseMatrix::from_triplets(dev, (n, n), &t, dtype, "int32", "Csr").unwrap()
+    }
+
+    #[test]
+    fn listing_1_gmres_with_ilu() {
+        let dev = device("cuda").unwrap();
+        let mtx = spd(&dev, 50, "double");
+        let b = as_tensor_fill(&dev, (50, 1), "double", 1.0).unwrap();
+        let mut x = as_tensor_fill(&dev, (50, 1), "double", 0.0).unwrap();
+        let pre = preconditioner::ilu(&dev, &mtx).unwrap();
+        let solver = gmres(&dev, &mtx, Some(pre), 1000, 30, 1e-6).unwrap();
+        let logger = solver.apply(&b, &mut x).unwrap();
+        assert!(logger.converged(), "{}", logger.stop_reason());
+        // Verify the residual through the facade.
+        let ax = mtx.spmv(&x).unwrap();
+        let mut r = b.clone();
+        r.add_scaled(-1.0, &ax).unwrap();
+        assert!(r.norm() < 1e-5 * b.norm() * 10.0, "residual {}", r.norm());
+    }
+
+    #[test]
+    fn all_krylov_methods_solve() {
+        let dev = device("reference").unwrap();
+        let mtx = spd(&dev, 32, "double");
+        let b = as_tensor_fill(&dev, (32, 1), "double", 1.0).unwrap();
+        for build in [cg, cgs, bicgstab] {
+            let solver = build(&dev, &mtx, None, 500, 1e-9).unwrap();
+            let mut x = as_tensor_fill(&dev, (32, 1), "double", 0.0).unwrap();
+            let log = solver.apply(&b, &mut x).unwrap();
+            assert!(log.converged(), "{} failed: {}", solver.name(), log.stop_reason());
+        }
+    }
+
+    #[test]
+    fn fixed_iteration_mode_runs_exactly_n_iterations() {
+        let dev = device("reference").unwrap();
+        let mtx = spd(&dev, 64, "double");
+        let b = as_tensor_fill(&dev, (64, 1), "double", 1.0).unwrap();
+        for method in ["cg", "cgs", "gmres", "bicgstab"] {
+            let solver = krylov_fixed_iters(&dev, &mtx, method, 10, 30).unwrap();
+            let mut x = as_tensor_fill(&dev, (64, 1), "double", 0.0).unwrap();
+            let log = solver.apply(&b, &mut x).unwrap();
+            assert_eq!(log.iterations(), 10, "{method}");
+            assert!(!log.converged());
+        }
+        assert!(krylov_fixed_iters(&dev, &mtx, "sor", 10, 30).is_err());
+    }
+
+    #[test]
+    fn direct_solver_is_exact() {
+        let dev = device("reference").unwrap();
+        let mtx = spd(&dev, 12, "double");
+        let solver = direct(&dev, &mtx).unwrap();
+        let b = as_tensor_fill(&dev, (12, 1), "double", 1.0).unwrap();
+        let mut x = as_tensor_fill(&dev, (12, 1), "double", 0.0).unwrap();
+        solver.apply(&b, &mut x).unwrap();
+        let ax = mtx.spmv(&x).unwrap();
+        let mut r = b.clone();
+        r.add_scaled(-1.0, &ax).unwrap();
+        assert!(r.norm() < 1e-10, "residual {}", r.norm());
+    }
+
+    #[test]
+    fn triangular_solvers_work_through_facade() {
+        let dev = device("reference").unwrap();
+        let l = SparseMatrix::from_triplets(
+            &dev,
+            (2, 2),
+            &[(0, 0, 2.0), (1, 0, 3.0), (1, 1, 4.0)],
+            "double",
+            "int32",
+            "Csr",
+        )
+        .unwrap();
+        let solver = lower_trs(&dev, &l).unwrap();
+        let b = crate::tensor::as_tensor(vec![2.0, 11.0], &dev, (2, 1), "double").unwrap();
+        let mut x = as_tensor_fill(&dev, (2, 1), "double", 0.0).unwrap();
+        solver.apply(&b, &mut x).unwrap();
+        assert_eq!(x.to_vec(), vec![1.0, 2.0]);
+
+        let u = SparseMatrix::from_triplets(
+            &dev,
+            (2, 2),
+            &[(0, 0, 2.0), (0, 1, 1.0), (1, 1, 4.0)],
+            "double",
+            "int32",
+            "Csr",
+        )
+        .unwrap();
+        let solver = upper_trs(&dev, &u).unwrap();
+        let b = crate::tensor::as_tensor(vec![4.0, 8.0], &dev, (2, 1), "double").unwrap();
+        let mut x = as_tensor_fill(&dev, (2, 1), "double", 0.0).unwrap();
+        solver.apply(&b, &mut x).unwrap();
+        assert_eq!(x.to_vec(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn dtype_mismatches_raise_type_errors() {
+        let dev = device("reference").unwrap();
+        let mtx = spd(&dev, 8, "double");
+        let solver = cg(&dev, &mtx, None, 100, 1e-8).unwrap();
+        let b = as_tensor_fill(&dev, (8, 1), "float", 1.0).unwrap();
+        let mut x = as_tensor_fill(&dev, (8, 1), "float", 0.0).unwrap();
+        assert!(matches!(solver.apply(&b, &mut x), Err(PyGinkgoError::Type(_))));
+
+        // Preconditioner dtype mismatch.
+        let mtx_f = spd(&dev, 8, "float");
+        let pre = preconditioner::jacobi(&dev, &mtx_f).unwrap();
+        assert!(matches!(
+            cg(&dev, &mtx, Some(pre), 100, 1e-8),
+            Err(PyGinkgoError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn half_precision_solver_runs() {
+        let dev = device("reference").unwrap();
+        let mtx = spd(&dev, 16, "half");
+        let solver = cg(&dev, &mtx, None, 200, 1e-2).unwrap();
+        let b = as_tensor_fill(&dev, (16, 1), "half", 1.0).unwrap();
+        let mut x = as_tensor_fill(&dev, (16, 1), "half", 0.0).unwrap();
+        let log = solver.apply(&b, &mut x).unwrap();
+        assert!(log.iterations() > 0);
+    }
+
+    #[test]
+    fn coo_system_matrix_is_accepted() {
+        let dev = device("reference").unwrap();
+        let mtx = spd(&dev, 16, "double").convert("Coo").unwrap();
+        let solver = cg(&dev, &mtx, None, 200, 1e-9).unwrap();
+        let b = as_tensor_fill(&dev, (16, 1), "double", 1.0).unwrap();
+        let mut x = as_tensor_fill(&dev, (16, 1), "double", 0.0).unwrap();
+        assert!(solver.apply(&b, &mut x).unwrap().converged());
+    }
+}

@@ -1,0 +1,355 @@
+//! Type-erased dense tensors (`pg.as_tensor`, §5.2).
+//!
+//! A [`Tensor`] is the facade's NumPy-array analog: dtype chosen at runtime
+//! by string, storage on a device, elementwise access in `f64` at the
+//! boundary (exactly how Python floats cross pybind11). The construction
+//! paths mirror §5.2's buffer protocol: building a `double` tensor from an
+//! owned `Vec<f64>` moves the buffer without copying elements — the
+//! zero-copy path — while other dtypes convert.
+
+use crate::device::Device;
+use crate::dtype::DType;
+use crate::error::{PyGinkgoError, PyResult};
+use crate::gil::binding_call;
+use gko::matrix::Dense;
+use gko::{Dim2, Value};
+use pygko_half::Half;
+
+/// The monomorphic storage behind a tensor (pre-instantiated per Table 1).
+#[derive(Clone, Debug)]
+pub(crate) enum TensorData {
+    /// binary16 storage.
+    Half(Dense<Half>),
+    /// binary32 storage.
+    Float(Dense<f32>),
+    /// binary64 storage.
+    Double(Dense<f64>),
+}
+
+/// A dense matrix/vector with runtime dtype, bound to a device.
+#[derive(Clone, Debug)]
+pub struct Tensor {
+    pub(crate) data: TensorData,
+    pub(crate) device: Device,
+}
+
+/// Dispatches a closure over the concrete storage — the facade-side
+/// `funcxx(a) -> funcxx_float(a)` mechanism of §5.1.
+macro_rules! with_dense {
+    ($data:expr, $d:ident => $body:expr) => {
+        match $data {
+            TensorData::Half($d) => $body,
+            TensorData::Float($d) => $body,
+            TensorData::Double($d) => $body,
+        }
+    };
+}
+
+impl Tensor {
+    pub(crate) fn new(device: Device, data: TensorData) -> Self {
+        Tensor { data, device }
+    }
+
+    /// Tensor shape as (rows, cols).
+    pub fn shape(&self) -> (usize, usize) {
+        let d = with_dense!(&self.data, d => d.size());
+        (d.rows, d.cols)
+    }
+
+    /// Runtime dtype tag.
+    pub fn dtype(&self) -> DType {
+        match &self.data {
+            TensorData::Half(_) => DType::Half,
+            TensorData::Float(_) => DType::Float,
+            TensorData::Double(_) => DType::Double,
+        }
+    }
+
+    /// The device this tensor lives on.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Reads one element, widened to `f64` (Python float semantics).
+    pub fn get(&self, row: usize, col: usize) -> PyResult<f64> {
+        let (r, c) = self.shape();
+        if row >= r || col >= c {
+            return Err(PyGinkgoError::Value(format!(
+                "index ({row}, {col}) out of bounds for shape ({r}, {c})"
+            )));
+        }
+        Ok(with_dense!(&self.data, d => d.at(row, col).to_f64()))
+    }
+
+    /// Writes one element (rounded to the tensor's dtype).
+    pub fn set(&mut self, row: usize, col: usize, value: f64) -> PyResult<()> {
+        let (r, c) = self.shape();
+        if row >= r || col >= c {
+            return Err(PyGinkgoError::Value(format!(
+                "index ({row}, {col}) out of bounds for shape ({r}, {c})"
+            )));
+        }
+        with_dense!(&mut self.data, d => d.set(row, col, Value::from_f64(value)));
+        Ok(())
+    }
+
+    /// Copies the values out as a row-major `f64` vector.
+    pub fn to_vec(&self) -> Vec<f64> {
+        binding_call(&self.device.clone(), || {
+            with_dense!(&self.data, d => d.as_slice().iter().map(|v| v.to_f64()).collect())
+        })
+    }
+
+    /// Overwrites every element.
+    pub fn fill(&mut self, value: f64) {
+        let dev = self.device.clone();
+        binding_call(&dev, || {
+            with_dense!(&mut self.data, d => d.fill(Value::from_f64(value)));
+        })
+    }
+
+    /// Scales all elements in place.
+    pub fn scale(&mut self, alpha: f64) {
+        let dev = self.device.clone();
+        binding_call(&dev, || {
+            with_dense!(&mut self.data, d => d.scale(Value::from_f64(alpha)));
+        })
+    }
+
+    /// AXPY: `self += alpha * other`. Dtypes must match (like NumPy's
+    /// in-place ops, mixed dtypes raise).
+    pub fn add_scaled(&mut self, alpha: f64, other: &Tensor) -> PyResult<()> {
+        let dev = self.device.clone();
+        binding_call(&dev, || match (&mut self.data, &other.data) {
+            (TensorData::Half(a), TensorData::Half(b)) => {
+                a.add_scaled(Half::from_f64(alpha), b).map_err(Into::into)
+            }
+            (TensorData::Float(a), TensorData::Float(b)) => {
+                a.add_scaled(alpha as f32, b).map_err(Into::into)
+            }
+            (TensorData::Double(a), TensorData::Double(b)) => {
+                a.add_scaled(alpha, b).map_err(Into::into)
+            }
+            _ => Err(PyGinkgoError::Type(format!(
+                "dtype mismatch in add_scaled: {} vs {}",
+                self.dtype(),
+                other.dtype()
+            ))),
+        })
+    }
+
+    /// Dot product (accumulated in `f64`). Dtypes must match.
+    pub fn dot(&self, other: &Tensor) -> PyResult<f64> {
+        binding_call(&self.device.clone(), || match (&self.data, &other.data) {
+            (TensorData::Half(a), TensorData::Half(b)) => a.compute_dot(b).map_err(Into::into),
+            (TensorData::Float(a), TensorData::Float(b)) => a.compute_dot(b).map_err(Into::into),
+            (TensorData::Double(a), TensorData::Double(b)) => {
+                a.compute_dot(b).map_err(Into::into)
+            }
+            _ => Err(PyGinkgoError::Type(format!(
+                "dtype mismatch in dot: {} vs {}",
+                self.dtype(),
+                other.dtype()
+            ))),
+        })
+    }
+
+    /// Euclidean norm over all elements.
+    pub fn norm(&self) -> f64 {
+        binding_call(&self.device.clone(), || {
+            with_dense!(&self.data, d => d.compute_norm2())
+        })
+    }
+
+    /// Converts to another dtype (always copies, like `ndarray.astype`).
+    pub fn astype(&self, dtype: &str) -> PyResult<Tensor> {
+        let target: DType = dtype.parse()?;
+        let host = self.to_vec();
+        let (rows, cols) = self.shape();
+        from_f64_buffer(&self.device, (rows, cols), target, host)
+    }
+
+    /// Clones onto another device, charging simulated transfers.
+    pub fn to_device(&self, device: &Device) -> Tensor {
+        binding_call(device, || {
+            let data = with_dense_clone(&self.data, device);
+            Tensor::new(device.clone(), data)
+        })
+    }
+
+    pub(crate) fn data(&self) -> &TensorData {
+        &self.data
+    }
+
+    pub(crate) fn data_mut(&mut self) -> &mut TensorData {
+        &mut self.data
+    }
+}
+
+fn with_dense_clone(data: &TensorData, device: &Device) -> TensorData {
+    match data {
+        TensorData::Half(d) => TensorData::Half(d.clone_to(device.executor())),
+        TensorData::Float(d) => TensorData::Float(d.clone_to(device.executor())),
+        TensorData::Double(d) => TensorData::Double(d.clone_to(device.executor())),
+    }
+}
+
+fn from_f64_buffer(
+    device: &Device,
+    (rows, cols): (usize, usize),
+    dtype: DType,
+    host: Vec<f64>,
+) -> PyResult<Tensor> {
+    let dim = Dim2::new(rows, cols);
+    let exec = device.executor();
+    let data = match dtype {
+        DType::Half => TensorData::Half(Dense::from_vec(
+            exec,
+            dim,
+            host.iter().map(|&v| Half::from_f64(v)).collect(),
+        )?),
+        DType::Float => TensorData::Float(Dense::from_vec(
+            exec,
+            dim,
+            host.iter().map(|&v| v as f32).collect(),
+        )?),
+        // Zero-copy path (§5.2): the owned buffer moves without an
+        // element-wise copy, like a NumPy array passed via buffer protocol.
+        DType::Double => TensorData::Double(Dense::from_vec(exec, dim, host)?),
+    };
+    Ok(Tensor::new(device.clone(), data))
+}
+
+/// Builds a tensor from a host buffer — `pg.as_tensor(x, device=...)`.
+///
+/// `data` is row-major and must have `rows * cols` elements.
+pub fn as_tensor(
+    data: Vec<f64>,
+    device: &Device,
+    dim: (usize, usize),
+    dtype: &str,
+) -> PyResult<Tensor> {
+    binding_call(device, || {
+        let target: DType = dtype.parse()?;
+        if data.len() != dim.0 * dim.1 {
+            return Err(PyGinkgoError::Value(format!(
+                "buffer of {} elements cannot fill shape ({}, {})",
+                data.len(),
+                dim.0,
+                dim.1
+            )));
+        }
+        from_f64_buffer(device, dim, target, data)
+    })
+}
+
+/// Builds a constant-filled tensor — Listing 1's
+/// `pg.as_tensor(device=dev, dim=(n, 1), dtype="double", fill=1.0)`.
+pub fn as_tensor_fill(
+    device: &Device,
+    dim: (usize, usize),
+    dtype: &str,
+    fill: f64,
+) -> PyResult<Tensor> {
+    binding_call(device, || {
+        let target: DType = dtype.parse()?;
+        let dim2 = Dim2::new(dim.0, dim.1);
+        let exec = device.executor();
+        let data = match target {
+            DType::Half => TensorData::Half(Dense::filled(exec, dim2, Half::from_f64(fill))),
+            DType::Float => TensorData::Float(Dense::filled(exec, dim2, fill as f32)),
+            DType::Double => TensorData::Double(Dense::filled(exec, dim2, fill)),
+        };
+        Ok(Tensor::new(device.clone(), data))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::device;
+
+    #[test]
+    fn listing_1_style_construction() {
+        let dev = device("reference").unwrap();
+        let b = as_tensor_fill(&dev, (5, 1), "double", 1.0).unwrap();
+        assert_eq!(b.shape(), (5, 1));
+        assert_eq!(b.dtype(), DType::Double);
+        assert_eq!(b.to_vec(), vec![1.0; 5]);
+    }
+
+    #[test]
+    fn buffer_construction_and_access() {
+        let dev = device("reference").unwrap();
+        let mut t = as_tensor(vec![1.0, 2.0, 3.0, 4.0], &dev, (2, 2), "float").unwrap();
+        assert_eq!(t.dtype(), DType::Float);
+        assert_eq!(t.get(1, 0).unwrap(), 3.0);
+        t.set(1, 0, 7.5).unwrap();
+        assert_eq!(t.get(1, 0).unwrap(), 7.5);
+        assert!(t.get(2, 0).is_err());
+        assert!(t.set(0, 2, 0.0).is_err());
+    }
+
+    #[test]
+    fn wrong_buffer_length_is_a_value_error() {
+        let dev = device("reference").unwrap();
+        let err = as_tensor(vec![1.0; 3], &dev, (2, 2), "double").unwrap_err();
+        assert!(err.to_string().contains("ValueError"));
+    }
+
+    #[test]
+    fn half_tensor_rounds_values() {
+        let dev = device("reference").unwrap();
+        let t = as_tensor(vec![0.1], &dev, (1, 1), "half").unwrap();
+        let v = t.get(0, 0).unwrap();
+        assert!((v - 0.1).abs() < 1e-3 && v != 0.1, "half-rounded: {v}");
+    }
+
+    #[test]
+    fn astype_roundtrip() {
+        let dev = device("reference").unwrap();
+        let t = as_tensor(vec![1.5, -2.5], &dev, (2, 1), "double").unwrap();
+        let f = t.astype("float32").unwrap();
+        assert_eq!(f.dtype(), DType::Float);
+        assert_eq!(f.to_vec(), vec![1.5, -2.5]);
+        assert!(t.astype("int8").is_err());
+    }
+
+    #[test]
+    fn vector_math_works() {
+        let dev = device("reference").unwrap();
+        let mut a = as_tensor(vec![3.0, 4.0], &dev, (2, 1), "double").unwrap();
+        let b = as_tensor(vec![1.0, 1.0], &dev, (2, 1), "double").unwrap();
+        assert_eq!(a.dot(&b).unwrap(), 7.0);
+        assert_eq!(a.norm(), 5.0);
+        a.add_scaled(2.0, &b).unwrap();
+        assert_eq!(a.to_vec(), vec![5.0, 6.0]);
+        a.scale(0.5);
+        assert_eq!(a.to_vec(), vec![2.5, 3.0]);
+        a.fill(0.0);
+        assert_eq!(a.to_vec(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn mixed_dtype_math_raises_type_error() {
+        let dev = device("reference").unwrap();
+        let a = as_tensor(vec![1.0], &dev, (1, 1), "double").unwrap();
+        let b = as_tensor(vec![1.0], &dev, (1, 1), "float").unwrap();
+        assert!(matches!(a.dot(&b), Err(PyGinkgoError::Type(_))));
+        let mut a2 = a.clone();
+        assert!(matches!(a2.add_scaled(1.0, &b), Err(PyGinkgoError::Type(_))));
+    }
+
+    #[test]
+    fn to_device_charges_transfer() {
+        let host = device("reference").unwrap();
+        let gpu = device("cuda").unwrap();
+        let t = as_tensor(vec![1.0; 1000], &host, (1000, 1), "double").unwrap();
+        let before = gpu.executor().timeline().snapshot();
+        let g = t.to_device(&gpu);
+        let delta = gpu.executor().timeline().snapshot().since(&before);
+        assert!(delta.copies >= 1);
+        assert_eq!(g.to_vec(), t.to_vec());
+        assert_eq!(g.device().backend_name(), "cuda");
+    }
+}

@@ -1,0 +1,7 @@
+//! Fundamental building blocks: value/index type traits, dimensions,
+//! executor-tracked arrays, and the error type.
+
+pub mod array;
+pub mod dim;
+pub mod error;
+pub mod types;

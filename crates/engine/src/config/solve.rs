@@ -1,0 +1,376 @@
+//! The config-solver factory: builds solver pipelines from config trees.
+//!
+//! Mirrors Ginkgo's `config::parse` + `LinOpFactory::generate`: the tree
+//! selects the solver type, its parameters, its stopping criteria, and an
+//! optional preconditioner; `config_solve` instantiates the whole pipeline
+//! against a concrete matrix. The facade's `solve()` builds these trees from
+//! keyword arguments (Listing 2).
+
+use crate::base::error::{GkoError, Result};
+use crate::base::types::{Index, Value};
+use crate::config::Config;
+use crate::linop::LinOp;
+use crate::log::ConvergenceLogger;
+use crate::matrix::csr::Csr;
+use crate::preconditioner::{Ic, Ilu, Jacobi};
+use crate::solver::{BiCgStab, Cg, Cgs, Direct, Fcg, Gmres, Ir, Minres};
+use crate::stop::Criteria;
+use std::sync::Arc;
+
+/// A solver built by the config factory: the operator plus its logger.
+pub struct ConfiguredSolver<V: Value> {
+    /// The solver, usable like any other operator.
+    pub op: Arc<dyn LinOp<V>>,
+    /// Logger attached to the solver (empty for direct solvers).
+    pub logger: ConvergenceLogger,
+}
+
+/// Parses the `criteria` array of a config tree.
+pub fn parse_criteria(config: &Config) -> Result<Criteria> {
+    let mut criteria = Criteria {
+        max_iters: usize::MAX,
+        reduction_factor: None,
+        abs_tolerance: None,
+    };
+    let Some(list) = config.get("criteria") else {
+        return Ok(Criteria::default());
+    };
+    let items = list
+        .as_array()
+        .ok_or_else(|| GkoError::InvalidConfig("'criteria' must be an array".into()))?;
+    for item in items {
+        let ty = item.require("type")?.as_str().ok_or_else(|| {
+            GkoError::InvalidConfig("criterion 'type' must be a string".into())
+        })?;
+        match ty {
+            "Iteration" => {
+                let n = item.require("max_iters")?.as_int().ok_or_else(|| {
+                    GkoError::InvalidConfig("'max_iters' must be an integer".into())
+                })?;
+                criteria.max_iters = usize::try_from(n).map_err(|_| {
+                    GkoError::InvalidConfig("'max_iters' must be non-negative".into())
+                })?;
+            }
+            "ResidualNorm" => {
+                let f = item
+                    .require("reduction_factor")?
+                    .as_float()
+                    .ok_or_else(|| {
+                        GkoError::InvalidConfig("'reduction_factor' must be a number".into())
+                    })?;
+                criteria.reduction_factor = Some(f);
+            }
+            "AbsoluteResidualNorm" => {
+                let f = item.require("tolerance")?.as_float().ok_or_else(|| {
+                    GkoError::InvalidConfig("'tolerance' must be a number".into())
+                })?;
+                criteria.abs_tolerance = Some(f);
+            }
+            other => {
+                return Err(GkoError::InvalidConfig(format!(
+                    "unknown criterion type '{other}'"
+                )))
+            }
+        }
+    }
+    if criteria.max_iters == usize::MAX
+        && criteria.reduction_factor.is_none()
+        && criteria.abs_tolerance.is_none()
+    {
+        return Ok(Criteria::default());
+    }
+    Ok(criteria)
+}
+
+/// Builds the preconditioner named in the config (if any).
+pub fn build_preconditioner<V: Value, I: Index>(
+    matrix: &Arc<Csr<V, I>>,
+    config: &Config,
+) -> Result<Option<Arc<dyn LinOp<V>>>> {
+    let Some(sub) = config.get("preconditioner") else {
+        return Ok(None);
+    };
+    if matches!(sub, Config::Null) {
+        return Ok(None);
+    }
+    let ty = sub.require("type")?.as_str().ok_or_else(|| {
+        GkoError::InvalidConfig("preconditioner 'type' must be a string".into())
+    })?;
+    let op: Arc<dyn LinOp<V>> = match ty {
+        "preconditioner::Jacobi" => {
+            let block = sub
+                .get("max_block_size")
+                .and_then(Config::as_int)
+                .unwrap_or(1);
+            if block <= 0 {
+                return Err(GkoError::InvalidConfig(
+                    "'max_block_size' must be positive".into(),
+                ));
+            }
+            Arc::new(Jacobi::with_block_size(matrix, block as usize)?)
+        }
+        "preconditioner::Ilu" => Arc::new(Ilu::new(matrix)?),
+        "preconditioner::Ic" => Arc::new(Ic::new(matrix)?),
+        other => {
+            return Err(GkoError::InvalidConfig(format!(
+                "unknown preconditioner type '{other}'"
+            )))
+        }
+    };
+    Ok(Some(op))
+}
+
+/// Instantiates the solver pipeline described by `config` for `matrix`.
+pub fn config_solve<V: Value, I: Index>(
+    matrix: Arc<Csr<V, I>>,
+    config: &Config,
+) -> Result<ConfiguredSolver<V>> {
+    let ty = config.require("type")?.as_str().ok_or_else(|| {
+        GkoError::InvalidConfig("solver 'type' must be a string".into())
+    })?;
+    let criteria = parse_criteria(config)?;
+    let precond = build_preconditioner(&matrix, config)?;
+    let system: Arc<dyn LinOp<V>> = matrix.clone();
+
+    macro_rules! krylov {
+        ($ctor:ident) => {{
+            let mut s = $ctor::new(system)?.with_criteria(criteria);
+            if let Some(p) = precond {
+                s = s.with_preconditioner(p)?;
+            }
+            let logger = s.logger().clone();
+            ConfiguredSolver {
+                op: Arc::new(s),
+                logger,
+            }
+        }};
+    }
+
+    let solver = match ty {
+        "solver::Cg" => krylov!(Cg),
+        "solver::Fcg" => krylov!(Fcg),
+        "solver::Cgs" => krylov!(Cgs),
+        "solver::Bicgstab" => krylov!(BiCgStab),
+        "solver::Minres" => {
+            let s = Minres::new(system)?.with_criteria(criteria);
+            if precond.is_some() {
+                return Err(GkoError::InvalidConfig(
+                    "solver::Minres does not support preconditioning".into(),
+                ));
+            }
+            let logger = s.logger().clone();
+            ConfiguredSolver {
+                op: Arc::new(s),
+                logger,
+            }
+        }
+        "solver::Gmres" => {
+            let mut s = Gmres::new(system)?.with_criteria(criteria);
+            if let Some(dim) = config.get("krylov_dim").and_then(Config::as_int) {
+                if dim <= 0 {
+                    return Err(GkoError::InvalidConfig(
+                        "'krylov_dim' must be positive".into(),
+                    ));
+                }
+                s = s.with_krylov_dim(dim as usize);
+            }
+            if let Some(p) = precond {
+                s = s.with_preconditioner(p)?;
+            }
+            let logger = s.logger().clone();
+            ConfiguredSolver {
+                op: Arc::new(s),
+                logger,
+            }
+        }
+        "solver::Ir" => {
+            let mut s = Ir::new(system)?.with_criteria(criteria);
+            if let Some(omega) = config.get("relaxation_factor").and_then(Config::as_float) {
+                s = s.with_relaxation(omega);
+            }
+            if let Some(p) = precond {
+                s = s.with_solver(p)?;
+            }
+            let logger = s.logger().clone();
+            ConfiguredSolver {
+                op: Arc::new(s),
+                logger,
+            }
+        }
+        "solver::Direct" => ConfiguredSolver {
+            op: Arc::new(Direct::new(&matrix)?),
+            logger: ConvergenceLogger::new(),
+        },
+        other => {
+            return Err(GkoError::InvalidConfig(format!(
+                "unknown solver type '{other}'"
+            )))
+        }
+    };
+    Ok(solver)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::dim::Dim2;
+    use crate::executor::Executor;
+    use crate::matrix::dense::Dense;
+
+    fn system(exec: &Executor, n: usize) -> Arc<Csr<f64, i32>> {
+        let mut t = vec![];
+        for i in 0..n {
+            t.push((i, i, 4.0));
+            if i > 0 {
+                t.push((i, i - 1, -1.0));
+                t.push((i - 1, i, -1.0));
+            }
+        }
+        Arc::new(Csr::from_triplets(exec, Dim2::square(n), &t).unwrap())
+    }
+
+    fn listing_2_config() -> Config {
+        Config::from_json(
+            r#"{
+                "type": "solver::Gmres",
+                "krylov_dim": 30,
+                "preconditioner": {"type": "preconditioner::Jacobi", "max_block_size": 1},
+                "criteria": [
+                    {"type": "Iteration", "max_iters": 1000},
+                    {"type": "ResidualNorm", "reduction_factor": 1e-06}
+                ]
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_and_solves_listing_2_pipeline() {
+        let exec = Executor::reference();
+        let a = system(&exec, 50);
+        let solver = config_solve(a.clone(), &listing_2_config()).unwrap();
+        let b = Dense::<f64>::vector(&exec, 50, 1.0);
+        let mut x = Dense::<f64>::vector(&exec, 50, 0.0);
+        solver.op.apply(&b, &mut x).unwrap();
+        let rec = solver.logger.snapshot();
+        assert!(rec.converged(), "{:?}", rec.stop_reason);
+        assert!(rec.final_residual <= 1e-6 * rec.initial_residual);
+    }
+
+    #[test]
+    fn every_krylov_solver_is_constructible() {
+        let exec = Executor::reference();
+        let a = system(&exec, 20);
+        for ty in [
+            "solver::Cg",
+            "solver::Fcg",
+            "solver::Cgs",
+            "solver::Bicgstab",
+            "solver::Minres",
+            "solver::Gmres",
+        ] {
+            let cfg = Config::map().with("type", ty).with(
+                "criteria",
+                vec![Config::map()
+                    .with("type", "ResidualNorm")
+                    .with("reduction_factor", 1e-8)],
+            );
+            let solver = config_solve(a.clone(), &cfg).unwrap();
+            let b = Dense::<f64>::vector(&exec, 20, 1.0);
+            let mut x = Dense::<f64>::vector(&exec, 20, 0.0);
+            solver.op.apply(&b, &mut x).unwrap();
+            assert!(
+                solver.logger.snapshot().converged(),
+                "{ty} failed to converge"
+            );
+        }
+    }
+
+    #[test]
+    fn direct_solver_via_config() {
+        let exec = Executor::reference();
+        let a = system(&exec, 10);
+        let cfg = Config::map().with("type", "solver::Direct");
+        let solver = config_solve(a.clone(), &cfg).unwrap();
+        let x_true = Dense::<f64>::vector(&exec, 10, 2.0);
+        let mut b = Dense::zeros(&exec, Dim2::new(10, 1));
+        a.apply(&x_true, &mut b).unwrap();
+        let mut x = Dense::zeros(&exec, Dim2::new(10, 1));
+        solver.op.apply(&b, &mut x).unwrap();
+        for (got, want) in x.to_host_vec().iter().zip(x_true.to_host_vec()) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn ilu_and_ic_preconditioners_via_config() {
+        let exec = Executor::reference();
+        let a = system(&exec, 30);
+        for p in ["preconditioner::Ilu", "preconditioner::Ic"] {
+            let cfg = Config::map()
+                .with("type", "solver::Cg")
+                .with("preconditioner", Config::map().with("type", p))
+                .with(
+                    "criteria",
+                    vec![Config::map()
+                        .with("type", "ResidualNorm")
+                        .with("reduction_factor", 1e-10)],
+                );
+            let solver = config_solve(a.clone(), &cfg).unwrap();
+            let b = Dense::<f64>::vector(&exec, 30, 1.0);
+            let mut x = Dense::<f64>::vector(&exec, 30, 0.0);
+            solver.op.apply(&b, &mut x).unwrap();
+            assert!(solver.logger.snapshot().converged(), "{p}");
+        }
+    }
+
+    #[test]
+    fn unknown_types_are_informative_errors() {
+        let exec = Executor::reference();
+        let a = system(&exec, 5);
+        let cfg = Config::map().with("type", "solver::Quantum");
+        let err = match config_solve(a.clone(), &cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("unknown solver type must fail"),
+        };
+        assert!(err.to_string().contains("solver::Quantum"));
+
+        let cfg = Config::map()
+            .with("type", "solver::Cg")
+            .with("preconditioner", Config::map().with("type", "preconditioner::Magic"));
+        assert!(config_solve(a, &cfg).is_err());
+    }
+
+    #[test]
+    fn missing_type_is_an_error() {
+        let exec = Executor::reference();
+        let a = system(&exec, 5);
+        assert!(config_solve(a, &Config::map()).is_err());
+    }
+
+    #[test]
+    fn bad_criteria_are_rejected() {
+        let exec = Executor::reference();
+        let a = system(&exec, 5);
+        let cfg = Config::map().with("type", "solver::Cg").with(
+            "criteria",
+            vec![Config::map().with("type", "Wormhole")],
+        );
+        assert!(config_solve(a.clone(), &cfg).is_err());
+
+        let cfg = Config::map()
+            .with("type", "solver::Cg")
+            .with("criteria", Config::Str("nope".into()));
+        assert!(config_solve(a, &cfg).is_err());
+    }
+
+    #[test]
+    fn null_preconditioner_means_none() {
+        let exec = Executor::reference();
+        let a = system(&exec, 5);
+        let cfg = Config::map()
+            .with("type", "solver::Cg")
+            .with("preconditioner", Config::Null);
+        assert!(config_solve(a, &cfg).is_ok());
+    }
+}

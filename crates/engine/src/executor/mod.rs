@@ -1,0 +1,296 @@
+//! Executors: where data lives and where kernels run (paper §4.1).
+//!
+//! Ginkgo's executor is the first object every program creates; it manages
+//! memory, runs kernels, synchronizes, and copies data between devices. This
+//! module reproduces that contract with four backends:
+//!
+//! * [`Executor::reference`] — single-threaded host execution, the
+//!   correctness baseline;
+//! * [`Executor::omp`] — multi-threaded host execution;
+//! * [`Executor::cuda`] / [`Executor::hip`] — simulated NVIDIA A100 and AMD
+//!   MI100 devices (see `DESIGN.md` for the substitution rationale).
+//!
+//! Kernels execute real numerics; their duration is charged to the
+//! executor's [`Timeline`] using the `pygko-sim` cost model, which is how the
+//! benchmark harness measures "time" reproducibly on any host.
+
+pub mod pool;
+
+use pygko_sim::{ChunkWork, DeviceKind, DeviceSpec, Timeline};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which hardware backend an executor drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Sequential host execution (Ginkgo's `ReferenceExecutor`).
+    Reference,
+    /// Multi-threaded host execution (Ginkgo's `OmpExecutor`).
+    Omp,
+    /// Simulated NVIDIA GPU (Ginkgo's `CudaExecutor`).
+    Cuda,
+    /// Simulated AMD GPU (Ginkgo's `HipExecutor`).
+    Hip,
+}
+
+impl Backend {
+    /// Lower-case name as used by `pyginkgo.device(...)` strings.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Reference => "reference",
+            Backend::Omp => "omp",
+            Backend::Cuda => "cuda",
+            Backend::Hip => "hip",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    backend: Backend,
+    device_id: usize,
+    spec: DeviceSpec,
+    timeline: Timeline,
+    bytes_allocated: AtomicI64,
+    peak_bytes: AtomicU64,
+}
+
+/// A cheaply-cloneable handle to an execution resource.
+///
+/// Equality of memory spaces follows Ginkgo: all host executors share the
+/// host memory space; each (backend, device id) pair of device executors is
+/// its own space, and moving data across spaces costs simulated transfer
+/// time.
+#[derive(Clone, Debug)]
+pub struct Executor(Arc<Inner>);
+
+impl Executor {
+    fn make(backend: Backend, device_id: usize, spec: DeviceSpec) -> Self {
+        Executor(Arc::new(Inner {
+            backend,
+            device_id,
+            spec,
+            timeline: Timeline::new(),
+            bytes_allocated: AtomicI64::new(0),
+            peak_bytes: AtomicU64::new(0),
+        }))
+    }
+
+    /// Sequential host executor (the correctness reference).
+    pub fn reference() -> Self {
+        Executor::make(Backend::Reference, 0, DeviceSpec::single_core())
+    }
+
+    /// Multi-threaded host executor with `threads` worker threads, modeled
+    /// as a Xeon Platinum 8368 socket (the paper's CPU platform).
+    pub fn omp(threads: usize) -> Self {
+        Executor::make(Backend::Omp, 0, DeviceSpec::xeon_8368(threads))
+    }
+
+    /// Simulated NVIDIA A100 with the given device id.
+    pub fn cuda(device_id: usize) -> Self {
+        Executor::make(Backend::Cuda, device_id, DeviceSpec::a100())
+    }
+
+    /// Simulated AMD Instinct MI100 with the given device id.
+    pub fn hip(device_id: usize) -> Self {
+        Executor::make(Backend::Hip, device_id, DeviceSpec::mi100())
+    }
+
+    /// Executor with a custom device model (for experiments).
+    pub fn with_spec(backend: Backend, device_id: usize, spec: DeviceSpec) -> Self {
+        Executor::make(backend, device_id, spec)
+    }
+
+    /// The backend this executor drives.
+    pub fn backend(&self) -> Backend {
+        self.0.backend
+    }
+
+    /// Device id (only meaningful for device backends).
+    pub fn device_id(&self) -> usize {
+        self.0.device_id
+    }
+
+    /// The simulated device description.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.0.spec
+    }
+
+    /// Device name, e.g. `"NVIDIA A100"`.
+    pub fn name(&self) -> &str {
+        &self.0.spec.name
+    }
+
+    /// True for host executors.
+    pub fn is_host(&self) -> bool {
+        self.0.spec.kind == DeviceKind::Cpu
+    }
+
+    /// The virtual clock all kernels on this executor charge into.
+    pub fn timeline(&self) -> &Timeline {
+        &self.0.timeline
+    }
+
+    /// Blocks until all queued device work completes.
+    ///
+    /// Kernels in this simulation complete synchronously, so this only
+    /// mirrors the API shape (benchmarks call it before reading the clock,
+    /// exactly as the paper does around its timers).
+    pub fn synchronize(&self) {}
+
+    /// Whether `self` and `other` address the same memory space.
+    pub fn same_memory_space(&self, other: &Executor) -> bool {
+        match (self.is_host(), other.is_host()) {
+            (true, true) => true,
+            (false, false) => {
+                self.0.backend == other.0.backend && self.0.device_id == other.0.device_id
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of worker threads used for *functional* execution of chunked
+    /// kernels (modeled parallelism is `spec().workers` and can be much
+    /// larger).
+    pub fn functional_threads(&self) -> usize {
+        match self.0.backend {
+            Backend::Reference => 1,
+            // Physical parallelism is capped; virtual time comes from the
+            // model, so more OS threads than cores would only add overhead.
+            Backend::Omp | Backend::Cuda | Backend::Hip => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(self.0.spec.workers),
+        }
+    }
+
+    /// Charges one kernel launch that performed the given chunks of work.
+    pub fn launch(&self, chunks: &[ChunkWork]) {
+        let t = self.0.spec.kernel_time_ns(chunks);
+        let flops: f64 = chunks.iter().map(|c| c.flops).sum();
+        self.0.timeline.charge_kernel(t, flops);
+    }
+
+    /// Charges a host-to-device upload (no cost on host executors).
+    pub fn charge_upload(&self, bytes: usize) {
+        if !self.is_host() {
+            let t = self.0.spec.copy_time_ns(bytes);
+            self.0.timeline.charge_copy(t, bytes);
+        }
+    }
+
+    /// Charges a device-to-host download (no cost on host executors).
+    pub fn charge_download(&self, bytes: usize) {
+        if !self.is_host() {
+            let t = self.0.spec.copy_time_ns(bytes);
+            self.0.timeline.charge_copy(t, bytes);
+        }
+    }
+
+    /// Records an allocation in the memory accountant.
+    pub fn track_alloc(&self, bytes: usize) {
+        let now = self.0.bytes_allocated.fetch_add(bytes as i64, Ordering::Relaxed)
+            + bytes as i64;
+        self.0.peak_bytes.fetch_max(now.max(0) as u64, Ordering::Relaxed);
+    }
+
+    /// Records a deallocation.
+    pub fn track_dealloc(&self, bytes: usize) {
+        self.0.bytes_allocated.fetch_sub(bytes as i64, Ordering::Relaxed);
+    }
+
+    /// Bytes currently allocated on this executor.
+    pub fn bytes_allocated(&self) -> i64 {
+        self.0.bytes_allocated.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of allocated bytes.
+    pub fn peak_bytes(&self) -> u64 {
+        self.0.peak_bytes.load(Ordering::Relaxed)
+    }
+}
+
+impl PartialEq for Executor {
+    /// Handle identity: two handles are equal iff they refer to the same
+    /// executor instance.
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backends_report_names() {
+        assert_eq!(Executor::reference().backend().name(), "reference");
+        assert_eq!(Executor::omp(4).backend().name(), "omp");
+        assert_eq!(Executor::cuda(0).backend().name(), "cuda");
+        assert_eq!(Executor::hip(0).backend().name(), "hip");
+    }
+
+    #[test]
+    fn memory_spaces() {
+        let r = Executor::reference();
+        let o = Executor::omp(8);
+        let c0 = Executor::cuda(0);
+        let c1 = Executor::cuda(1);
+        let h0 = Executor::hip(0);
+        assert!(r.same_memory_space(&o), "host executors share memory");
+        assert!(!r.same_memory_space(&c0));
+        assert!(!c0.same_memory_space(&c1), "different devices differ");
+        assert!(!c0.same_memory_space(&h0), "different vendors differ");
+        assert!(c0.same_memory_space(&Executor::cuda(0)));
+    }
+
+    #[test]
+    fn launches_charge_the_timeline() {
+        let exec = Executor::cuda(0);
+        let before = exec.timeline().snapshot();
+        exec.launch(&[ChunkWork::new(1.0e6, 0.0, 2.0e5)]);
+        let d = exec.timeline().snapshot().since(&before);
+        assert_eq!(d.kernels, 1);
+        assert!(d.ns > 0);
+        assert_eq!(d.flops, 200_000);
+    }
+
+    #[test]
+    fn host_copies_are_free() {
+        let exec = Executor::reference();
+        let before = exec.timeline().snapshot();
+        exec.charge_upload(1 << 20);
+        exec.charge_download(1 << 20);
+        assert_eq!(exec.timeline().snapshot().since(&before).copies, 0);
+    }
+
+    #[test]
+    fn allocation_accounting_tracks_peak() {
+        let exec = Executor::reference();
+        exec.track_alloc(1000);
+        exec.track_alloc(500);
+        exec.track_dealloc(1000);
+        assert_eq!(exec.bytes_allocated(), 500);
+        assert!(exec.peak_bytes() >= 1500);
+        exec.track_dealloc(500);
+        assert_eq!(exec.bytes_allocated(), 0);
+    }
+
+    #[test]
+    fn clone_shares_identity() {
+        let a = Executor::cuda(0);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(a != Executor::cuda(0), "fresh instance is a new handle");
+        b.track_alloc(64);
+        assert_eq!(a.bytes_allocated(), 64);
+    }
+
+    #[test]
+    fn omp_thread_count_flows_into_spec() {
+        let e = Executor::omp(16);
+        assert_eq!(e.spec().workers, 16);
+        assert!(e.functional_threads() >= 1);
+    }
+}

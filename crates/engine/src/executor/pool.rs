@@ -1,0 +1,172 @@
+//! Minimal structured data-parallel helpers.
+//!
+//! Row-partitioned kernels execute their chunks through [`parallel_chunks`],
+//! which splits the output into disjoint mutable sub-slices and distributes
+//! them over scoped worker threads pulling from a shared queue. Safety comes
+//! entirely from `split_at_mut` — no `unsafe`, no data races by construction.
+//!
+//! On hosts with a single core (like the machine this reproduction was built
+//! on) the scheduler timeslices the workers; the *modeled* execution time is
+//! computed from the work partition by `pygko-sim`, so correctness of the
+//! timing does not depend on physical parallelism.
+
+use std::sync::Mutex;
+
+/// Splits `out` at the given chunk boundaries and applies
+/// `f(chunk_index, chunk_slice)` to every chunk, using up to `threads`
+/// worker threads.
+///
+/// `bounds` must be non-decreasing, start at 0, and end at `out.len()`;
+/// chunk `i` receives `out[bounds[i]..bounds[i+1]]`.
+///
+/// # Panics
+///
+/// Panics if the bounds are malformed or if any worker panics.
+pub fn parallel_chunks<T, F>(threads: usize, out: &mut [T], bounds: &[usize], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(!bounds.is_empty(), "bounds must contain at least [0]");
+    assert_eq!(bounds[0], 0, "bounds must start at 0");
+    assert_eq!(
+        *bounds.last().unwrap(),
+        out.len(),
+        "bounds must end at the slice length"
+    );
+    let chunks = bounds.len() - 1;
+    if chunks == 0 {
+        return;
+    }
+
+    if threads <= 1 || chunks == 1 {
+        let mut rest = out;
+        for i in 0..chunks {
+            let len = bounds[i + 1] - bounds[i];
+            let (head, tail) = rest.split_at_mut(len);
+            f(i, head);
+            rest = tail;
+        }
+        return;
+    }
+
+    // Pre-split the output into disjoint sub-slices, then let workers pop
+    // (index, slice) pairs from a shared queue.
+    let mut pieces: Vec<(usize, &mut [T])> = Vec::with_capacity(chunks);
+    let mut rest = out;
+    for i in 0..chunks {
+        let len = bounds[i + 1] - bounds[i];
+        let (head, tail) = rest.split_at_mut(len);
+        pieces.push((i, head));
+        rest = tail;
+    }
+    let queue = Mutex::new(pieces);
+    let workers = threads.min(chunks);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let item = queue.lock().expect("queue poisoned").pop();
+                match item {
+                    Some((idx, slice)) => f(idx, slice),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Computes one `f64` partial result per chunk in parallel and returns the
+/// partials in chunk order (so reductions are deterministic regardless of
+/// scheduling).
+pub fn parallel_partials<F>(threads: usize, chunks: usize, f: F) -> Vec<f64>
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    let mut partials = vec![0.0f64; chunks];
+    let bounds: Vec<usize> = (0..=chunks).collect();
+    parallel_chunks(threads, &mut partials, &bounds, |i, slot| {
+        slot[0] = f(i);
+    });
+    partials
+}
+
+/// Builds chunk boundaries that split `n` items into at most `max_chunks`
+/// nearly equal ranges (the classical row-block partition).
+pub fn uniform_bounds(n: usize, max_chunks: usize) -> Vec<usize> {
+    let chunks = max_chunks.max(1).min(n.max(1));
+    let mut bounds = Vec::with_capacity(chunks + 1);
+    for i in 0..=chunks {
+        bounds.push(i * n / chunks);
+    }
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_path_applies_all_chunks() {
+        let mut data = vec![0u32; 10];
+        parallel_chunks(1, &mut data, &[0, 3, 7, 10], |i, s| {
+            s.fill(i as u32 + 1);
+        });
+        assert_eq!(data, [1, 1, 1, 2, 2, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        let mut serial = vec![0u64; 1000];
+        let mut parallel = vec![0u64; 1000];
+        let bounds = uniform_bounds(1000, 16);
+        let kernel = |i: usize, s: &mut [u64]| {
+            for (k, v) in s.iter_mut().enumerate() {
+                *v = (i * 31 + k) as u64;
+            }
+        };
+        parallel_chunks(1, &mut serial, &bounds, kernel);
+        parallel_chunks(4, &mut parallel, &bounds, kernel);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_chunks_are_allowed() {
+        let mut data = vec![7u8; 4];
+        parallel_chunks(2, &mut data, &[0, 0, 4, 4], |i, s| {
+            if i == 1 {
+                s.fill(9);
+            } else {
+                assert!(s.is_empty());
+            }
+        });
+        assert_eq!(data, [9, 9, 9, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must end")]
+    fn bad_bounds_panic() {
+        let mut data = vec![0u8; 4];
+        parallel_chunks(1, &mut data, &[0, 2], |_, _| {});
+    }
+
+    #[test]
+    fn partials_are_in_chunk_order() {
+        let p = parallel_partials(4, 8, |i| i as f64 * 2.0);
+        assert_eq!(p, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0]);
+    }
+
+    #[test]
+    fn uniform_bounds_cover_exactly() {
+        let b = uniform_bounds(10, 3);
+        assert_eq!(b.first(), Some(&0));
+        assert_eq!(b.last(), Some(&10));
+        assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        // More chunks than items degrades to one item per chunk.
+        let b = uniform_bounds(2, 100);
+        assert_eq!(b, vec![0, 1, 2]);
+        // Zero items yields a single empty chunk.
+        let b = uniform_bounds(0, 4);
+        assert_eq!(b, vec![0, 0]);
+    }
+}

@@ -1,0 +1,176 @@
+//! IC(0): incomplete Cholesky factorization with zero fill-in.
+
+use crate::base::dim::Dim2;
+use crate::base::error::{GkoError, Result};
+use crate::base::types::{Index, Value};
+use crate::matrix::csr::Csr;
+use pygko_sim::ChunkWork;
+
+/// Computes the IC(0) factorization `A ≈ L L^T` of a symmetric positive
+/// definite CSR matrix.
+///
+/// Returns the lower-triangular factor `L` (diagonal stored). Only the
+/// lower triangle of `A` is read, so an upper-triangle-only or full
+/// symmetric matrix both work. Fails with [`GkoError::Breakdown`] if a
+/// non-positive pivot appears (matrix not SPD enough for IC(0)).
+pub fn ic0<V: Value, I: Index>(a: &Csr<V, I>) -> Result<Csr<V, I>> {
+    if !a.size().is_square() {
+        return Err(GkoError::BadInput("IC(0) needs a square matrix".into()));
+    }
+    let n = a.size().rows;
+    let rp = a.row_ptrs();
+    let ci = a.col_idxs();
+    let av = a.values();
+
+    // Build L row by row on the lower-triangular pattern of A.
+    // l_rows[i] holds (col, value) sorted by col, col <= i.
+    let mut l_rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let (lo, hi) = (rp[i].to_usize(), rp[i + 1].to_usize());
+        let mut row: Vec<(usize, f64)> = Vec::new();
+        let mut diag_a = None;
+        for idx in lo..hi {
+            let j = ci[idx].to_usize();
+            if j < i {
+                row.push((j, av[idx].to_f64()));
+            } else if j == i {
+                diag_a = Some(av[idx].to_f64());
+            }
+        }
+        let diag_a = diag_a.ok_or(GkoError::Singular { at: i })?;
+
+        // l_ij = (a_ij - sum_{k<j} l_ik * l_jk) / l_jj  for pattern entries.
+        let mut finished: Vec<(usize, f64)> = Vec::with_capacity(row.len() + 1);
+        for (j, aij) in row {
+            let mut acc = aij;
+            // Sparse dot of finished((row i) cols < j) with l_rows[j].
+            let lj = &l_rows[j];
+            let (mut p, mut q) = (0usize, 0usize);
+            while p < finished.len() && q < lj.len() {
+                let (ci_, vi_) = finished[p];
+                let (cj_, vj_) = lj[q];
+                if ci_ == cj_ {
+                    if ci_ < j {
+                        acc -= vi_ * vj_;
+                    }
+                    p += 1;
+                    q += 1;
+                } else if ci_ < cj_ {
+                    p += 1;
+                } else {
+                    q += 1;
+                }
+            }
+            let ljj = lj.last().map(|&(_, v)| v).unwrap_or(0.0);
+            if ljj == 0.0 {
+                return Err(GkoError::Breakdown("ic0 zero pivot"));
+            }
+            finished.push((j, acc / ljj));
+        }
+        // Diagonal: l_ii = sqrt(a_ii - sum l_ik^2).
+        let sq: f64 = finished.iter().map(|&(_, v)| v * v).sum();
+        let d = diag_a - sq;
+        if d <= 0.0 {
+            return Err(GkoError::Breakdown("ic0 non-positive pivot"));
+        }
+        finished.push((i, d.sqrt()));
+        l_rows.push(finished);
+    }
+
+    let mut triplets: Vec<(usize, usize, V)> = Vec::new();
+    for (i, row) in l_rows.iter().enumerate() {
+        for &(j, v) in row {
+            triplets.push((i, j, V::from_f64(v)));
+        }
+    }
+    let exec = a.executor();
+    let nnz = a.nnz() as f64;
+    exec.launch(&[ChunkWork::new(
+        nnz * (V::BYTES + I::BYTES) as f64 * 1.5,
+        nnz * V::BYTES as f64,
+        2.0 * nnz,
+    )]);
+    Csr::from_triplets(exec, Dim2::square(n), &triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+
+    fn spd_tridiag(exec: &Executor, n: usize) -> Csr<f64, i32> {
+        let mut t = vec![];
+        for i in 0..n {
+            t.push((i, i, 4.0));
+            if i > 0 {
+                t.push((i, i - 1, -1.0));
+                t.push((i - 1, i, -1.0));
+            }
+        }
+        Csr::from_triplets(exec, Dim2::square(n), &t).unwrap()
+    }
+
+    #[test]
+    fn exact_on_tridiagonal_spd() {
+        let exec = Executor::reference();
+        let n = 8;
+        let a = spd_tridiag(&exec, n);
+        let l = ic0(&a).unwrap();
+        // L L^T must equal A (no fill-in was dropped for a tridiagonal).
+        let ld = l.to_dense();
+        let ad = a.to_dense();
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += ld.at(i, k) * ld.at(j, k);
+                }
+                assert!(
+                    (acc - ad.at(i, j)).abs() < 1e-12,
+                    "entry ({i}, {j}): {acc} vs {}",
+                    ad.at(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn factor_is_lower_triangular_with_positive_diagonal() {
+        let exec = Executor::reference();
+        let a = spd_tridiag(&exec, 16);
+        let l = ic0(&a).unwrap();
+        let rp = l.row_ptrs();
+        for r in 0..16 {
+            let (lo, hi) = (rp[r].to_usize(), rp[r + 1].to_usize());
+            for idx in lo..hi {
+                assert!(l.col_idxs()[idx].to_usize() <= r);
+            }
+            let d = l.extract_diagonal()[r];
+            assert!(d > 0.0, "diagonal {d} at row {r}");
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_breaks_down() {
+        let exec = Executor::reference();
+        let a = Csr::<f64, i32>::from_triplets(
+            &exec,
+            Dim2::square(2),
+            &[(0, 0, 1.0), (0, 1, 5.0), (1, 0, 5.0), (1, 1, 1.0)],
+        )
+        .unwrap();
+        assert!(matches!(ic0(&a), Err(GkoError::Breakdown(_))));
+    }
+
+    #[test]
+    fn missing_diagonal_is_singular() {
+        let exec = Executor::reference();
+        let a = Csr::<f64, i32>::from_triplets(
+            &exec,
+            Dim2::square(2),
+            &[(0, 0, 1.0), (1, 0, 0.5)],
+        )
+        .unwrap();
+        assert!(matches!(ic0(&a), Err(GkoError::Singular { at: 1 })));
+    }
+}

@@ -1,0 +1,135 @@
+//! Convergence logging.
+//!
+//! Ginkgo attaches logger objects to solvers; pyGinkgo's `solver.apply`
+//! returns the logger to Python (Listing 1: `logger, result = ...`). The
+//! engine-side [`ConvergenceLogger`] is a cheaply cloneable handle that
+//! solvers write per-iteration residual data into.
+
+use crate::stop::StopReason;
+use std::sync::{Arc, Mutex};
+
+/// Snapshot of a finished (or in-progress) solve.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SolveRecord {
+    /// Completed iterations.
+    pub iterations: usize,
+    /// Residual norm before the first iteration.
+    pub initial_residual: f64,
+    /// Residual norm at the last check.
+    pub final_residual: f64,
+    /// One entry per residual check (GMRES checks after every Hessenberg
+    /// update, so there may be more entries than iterations elsewhere).
+    pub residual_history: Vec<f64>,
+    /// Why the iteration stopped.
+    pub stop_reason: Option<StopReason>,
+}
+
+impl SolveRecord {
+    /// True if the solve converged by a residual criterion.
+    pub fn converged(&self) -> bool {
+        self.stop_reason.map(StopReason::is_converged).unwrap_or(false)
+    }
+
+    /// The achieved reduction factor `final / initial` (1.0 if no progress
+    /// information was recorded).
+    pub fn reduction(&self) -> f64 {
+        if self.initial_residual > 0.0 {
+            self.final_residual / self.initial_residual
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Cloneable handle to a solve log.
+#[derive(Clone, Debug, Default)]
+pub struct ConvergenceLogger {
+    inner: Arc<Mutex<SolveRecord>>,
+}
+
+impl ConvergenceLogger {
+    /// Creates an empty logger.
+    pub fn new() -> Self {
+        ConvergenceLogger::default()
+    }
+
+    /// Clears the record (called by solvers at the start of an apply).
+    pub fn begin(&self, initial_residual: f64) {
+        let mut rec = self.inner.lock().expect("logger poisoned");
+        *rec = SolveRecord {
+            initial_residual,
+            final_residual: initial_residual,
+            ..SolveRecord::default()
+        };
+    }
+
+    /// Records one residual check.
+    pub fn record_residual(&self, iteration: usize, residual: f64) {
+        let mut rec = self.inner.lock().expect("logger poisoned");
+        rec.iterations = iteration;
+        rec.final_residual = residual;
+        rec.residual_history.push(residual);
+    }
+
+    /// Records the stop reason.
+    pub fn finish(&self, iterations: usize, reason: StopReason) {
+        let mut rec = self.inner.lock().expect("logger poisoned");
+        rec.iterations = iterations;
+        rec.stop_reason = Some(reason);
+    }
+
+    /// Copies out the current record.
+    pub fn snapshot(&self) -> SolveRecord {
+        self.inner.lock().expect("logger poisoned").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let log = ConvergenceLogger::new();
+        log.begin(10.0);
+        log.record_residual(1, 5.0);
+        log.record_residual(2, 1e-7);
+        log.finish(2, StopReason::ResidualReduction);
+        let rec = log.snapshot();
+        assert_eq!(rec.iterations, 2);
+        assert_eq!(rec.initial_residual, 10.0);
+        assert_eq!(rec.final_residual, 1e-7);
+        assert_eq!(rec.residual_history, vec![5.0, 1e-7]);
+        assert!(rec.converged());
+        assert!((rec.reduction() - 1e-8).abs() < 1e-20);
+    }
+
+    #[test]
+    fn begin_resets_previous_solve() {
+        let log = ConvergenceLogger::new();
+        log.begin(1.0);
+        log.record_residual(1, 0.5);
+        log.finish(1, StopReason::MaxIterations);
+        log.begin(2.0);
+        let rec = log.snapshot();
+        assert_eq!(rec.iterations, 0);
+        assert!(rec.residual_history.is_empty());
+        assert_eq!(rec.stop_reason, None);
+        assert!(!rec.converged());
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let log = ConvergenceLogger::new();
+        let log2 = log.clone();
+        log.begin(1.0);
+        log2.record_residual(1, 0.1);
+        assert_eq!(log.snapshot().final_residual, 0.1);
+    }
+
+    #[test]
+    fn reduction_handles_zero_initial() {
+        let rec = SolveRecord::default();
+        assert_eq!(rec.reduction(), 1.0);
+    }
+}

@@ -1,0 +1,605 @@
+//! Compressed Sparse Row format.
+//!
+//! CSR is Ginkgo's workhorse format and the primary format of the paper's
+//! benchmarks. Two SpMV strategies are provided, mirroring Ginkgo's
+//! automatic strategy selection (and feeding the strategy ablation bench):
+//!
+//! * [`SpmvStrategy::Classical`] — contiguous row blocks of equal *row*
+//!   count. Simple, but skewed row lengths produce load imbalance.
+//! * [`SpmvStrategy::LoadBalance`] — row blocks balanced by *nonzero* count
+//!   (row-granularity approximation of Ginkgo's merge-based kernel), which
+//!   is what gives Ginkgo its near-linear NNZ scaling on irregular matrices.
+
+use crate::base::array::Array;
+use crate::base::dim::Dim2;
+use crate::base::error::{GkoError, Result};
+use crate::base::types::{Index, Value};
+use crate::executor::pool::{parallel_chunks, uniform_bounds};
+use crate::executor::Executor;
+use crate::linop::{check_apply_dims, LinOp};
+use crate::matrix::dense::Dense;
+use pygko_sim::ChunkWork;
+
+/// SpMV parallelization strategy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpmvStrategy {
+    /// Equal-row-count chunks (classical row-parallel kernel).
+    Classical,
+    /// Equal-nonzero-count chunks (load-balanced kernel).
+    #[default]
+    LoadBalance,
+}
+
+/// Sparse matrix in CSR format with value type `V` and index type `I`.
+#[derive(Debug, Clone)]
+pub struct Csr<V: Value, I: Index = i32> {
+    size: Dim2,
+    row_ptrs: Array<I>,
+    col_idxs: Array<I>,
+    values: Array<V>,
+    strategy: SpmvStrategy,
+}
+
+impl<V: Value, I: Index> Csr<V, I> {
+    /// Matrix size.
+    pub fn size(&self) -> Dim2 {
+        self.size
+    }
+
+    /// Builds a CSR matrix from raw arrays, validating the structure
+    /// (monotone row pointers, in-range and per-row sorted, unique columns).
+    pub fn from_raw(
+        exec: &Executor,
+        size: Dim2,
+        row_ptrs: Vec<I>,
+        col_idxs: Vec<I>,
+        values: Vec<V>,
+    ) -> Result<Self> {
+        if row_ptrs.len() != size.rows + 1 {
+            return Err(GkoError::BadInput(format!(
+                "row_ptrs length {} does not match rows+1 = {}",
+                row_ptrs.len(),
+                size.rows + 1
+            )));
+        }
+        if col_idxs.len() != values.len() {
+            return Err(GkoError::BadInput(format!(
+                "col_idxs length {} != values length {}",
+                col_idxs.len(),
+                values.len()
+            )));
+        }
+        if row_ptrs[0] != I::zero() {
+            return Err(GkoError::BadInput("row_ptrs[0] must be 0".into()));
+        }
+        if row_ptrs[size.rows].to_usize() != values.len() {
+            return Err(GkoError::BadInput(format!(
+                "row_ptrs[rows] = {} does not match nnz = {}",
+                row_ptrs[size.rows],
+                values.len()
+            )));
+        }
+        for r in 0..size.rows {
+            let (lo, hi) = (row_ptrs[r].to_usize(), row_ptrs[r + 1].to_usize());
+            if lo > hi {
+                return Err(GkoError::BadInput(format!(
+                    "row_ptrs must be non-decreasing (row {r})"
+                )));
+            }
+            let mut prev: Option<I> = None;
+            for &c in &col_idxs[lo..hi] {
+                if c.to_usize() >= size.cols {
+                    return Err(GkoError::BadInput(format!(
+                        "column index {c} out of range in row {r}"
+                    )));
+                }
+                if let Some(p) = prev {
+                    if c <= p {
+                        return Err(GkoError::BadInput(format!(
+                            "column indices must be strictly increasing within row {r}"
+                        )));
+                    }
+                }
+                prev = Some(c);
+            }
+        }
+        Ok(Csr {
+            size,
+            row_ptrs: Array::from_vec(exec, row_ptrs),
+            col_idxs: Array::from_vec(exec, col_idxs),
+            values: Array::from_vec(exec, values),
+            strategy: SpmvStrategy::default(),
+        })
+    }
+
+    /// Builds from unsorted (row, col, value) triplets; duplicates are
+    /// summed (Matrix Market semantics for symmetric expansions).
+    pub fn from_triplets(
+        exec: &Executor,
+        size: Dim2,
+        triplets: &[(usize, usize, V)],
+    ) -> Result<Self> {
+        for &(r, c, _) in triplets {
+            if r >= size.rows || c >= size.cols {
+                return Err(GkoError::BadInput(format!(
+                    "entry ({r}, {c}) outside matrix {size}"
+                )));
+            }
+        }
+        let mut sorted: Vec<(usize, usize, V)> = triplets.to_vec();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_ptrs = vec![I::zero(); size.rows + 1];
+        let mut col_idxs: Vec<I> = Vec::with_capacity(sorted.len());
+        let mut values: Vec<V> = Vec::with_capacity(sorted.len());
+        let mut counts = vec![0usize; size.rows];
+        let mut it = sorted.into_iter().peekable();
+        while let Some((r, c, mut v)) = it.next() {
+            while let Some(&(r2, c2, v2)) = it.peek() {
+                if r2 == r && c2 == c {
+                    v += v2;
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            counts[r] += 1;
+            col_idxs.push(I::from_usize(c));
+            values.push(v);
+        }
+        let mut acc = 0usize;
+        for (r, &cnt) in counts.iter().enumerate() {
+            acc += cnt;
+            row_ptrs[r + 1] = I::from_usize(acc);
+        }
+        Csr::from_raw(exec, size, row_ptrs, col_idxs, values)
+    }
+
+    /// Converts a dense matrix, dropping exact zeros.
+    pub fn from_dense(dense: &Dense<V>) -> Self {
+        let size = dense.size();
+        let mut triplets = Vec::new();
+        for i in 0..size.rows {
+            for j in 0..size.cols {
+                let v = dense.at(i, j);
+                if v != V::zero() {
+                    triplets.push((i, j, v));
+                }
+            }
+        }
+        Csr::from_triplets(dense.executor(), size, &triplets)
+            .expect("dense-derived triplets are always valid")
+    }
+
+    /// Chooses the SpMV strategy (builder style).
+    pub fn with_strategy(mut self, strategy: SpmvStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Current SpMV strategy.
+    pub fn strategy(&self) -> SpmvStrategy {
+        self.strategy
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row pointer array (length `rows + 1`).
+    pub fn row_ptrs(&self) -> &[I] {
+        self.row_ptrs.as_slice()
+    }
+
+    /// Column index array (length `nnz`).
+    pub fn col_idxs(&self) -> &[I] {
+        self.col_idxs.as_slice()
+    }
+
+    /// Value array (length `nnz`).
+    pub fn values(&self) -> &[V] {
+        self.values.as_slice()
+    }
+
+    /// Mutable value access (structure stays fixed) — used by factorizations.
+    pub fn values_mut(&mut self) -> &mut [V] {
+        self.values.as_mut_slice()
+    }
+
+    /// Executor the matrix lives on.
+    pub fn executor(&self) -> &Executor {
+        self.values.executor()
+    }
+
+    /// Clones onto another executor.
+    pub fn clone_to(&self, exec: &Executor) -> Self {
+        Csr {
+            size: self.size,
+            row_ptrs: self.row_ptrs.copy_to(exec),
+            col_idxs: self.col_idxs.copy_to(exec),
+            values: self.values.copy_to(exec),
+            strategy: self.strategy,
+        }
+    }
+
+    /// Densifies (for tests and the dense direct solver).
+    pub fn to_dense(&self) -> Dense<V> {
+        let mut out = Dense::zeros(self.executor(), self.size);
+        let rp = self.row_ptrs.as_slice();
+        let ci = self.col_idxs.as_slice();
+        let vals = self.values.as_slice();
+        for r in 0..self.size.rows {
+            for k in rp[r].to_usize()..rp[r + 1].to_usize() {
+                out.set(r, ci[k].to_usize(), vals[k]);
+            }
+        }
+        out
+    }
+
+    /// Extracts the diagonal (missing diagonal entries read as zero).
+    pub fn extract_diagonal(&self) -> Vec<V> {
+        let rp = self.row_ptrs.as_slice();
+        let ci = self.col_idxs.as_slice();
+        let vals = self.values.as_slice();
+        (0..self.size.rows.min(self.size.cols))
+            .map(|r| {
+                let (lo, hi) = (rp[r].to_usize(), rp[r + 1].to_usize());
+                match ci[lo..hi].binary_search(&I::from_usize(r)) {
+                    Ok(pos) => vals[lo + pos],
+                    Err(_) => V::zero(),
+                }
+            })
+            .collect()
+    }
+
+    /// Transposed copy (explicit CSC-to-CSR conversion).
+    pub fn transpose(&self) -> Csr<V, I> {
+        let (m, n) = (self.size.rows, self.size.cols);
+        let rp = self.row_ptrs.as_slice();
+        let ci = self.col_idxs.as_slice();
+        let vals = self.values.as_slice();
+        let nnz = self.nnz();
+        let mut counts = vec![0usize; n + 1];
+        for &c in ci {
+            counts[c.to_usize() + 1] += 1;
+        }
+        for j in 0..n {
+            counts[j + 1] += counts[j];
+        }
+        let mut t_rows = vec![I::zero(); n + 1];
+        for (j, &c) in counts.iter().enumerate() {
+            t_rows[j] = I::from_usize(c);
+        }
+        let mut t_cols = vec![I::zero(); nnz];
+        let mut t_vals = vec![V::zero(); nnz];
+        let mut cursor = counts;
+        for r in 0..m {
+            for k in rp[r].to_usize()..rp[r + 1].to_usize() {
+                let c = ci[k].to_usize();
+                let dst = cursor[c];
+                cursor[c] += 1;
+                t_cols[dst] = I::from_usize(r);
+                t_vals[dst] = vals[k];
+            }
+        }
+        Csr::from_raw(self.executor(), self.size.transposed(), t_rows, t_cols, t_vals)
+            .expect("transpose of valid CSR is valid")
+    }
+
+    /// Row chunk boundaries according to the active strategy.
+    ///
+    /// Exposed so the cost model, the facade, and the ablation benches can
+    /// inspect the partition a kernel will use.
+    pub fn chunk_bounds(&self, max_chunks: usize) -> Vec<usize> {
+        let m = self.size.rows;
+        match self.strategy {
+            SpmvStrategy::Classical => uniform_bounds(m, max_chunks),
+            SpmvStrategy::LoadBalance => {
+                let nnz = self.nnz();
+                if nnz == 0 || m == 0 {
+                    return uniform_bounds(m, max_chunks);
+                }
+                let chunks = max_chunks.max(1).min(m);
+                let rp = self.row_ptrs.as_slice();
+                let mut bounds = Vec::with_capacity(chunks + 1);
+                bounds.push(0usize);
+                for c in 1..chunks {
+                    let target = c * nnz / chunks;
+                    // First row whose end passes the target.
+                    let row = rp.partition_point(|&p| p.to_usize() < target);
+                    let row = row.clamp(*bounds.last().unwrap(), m);
+                    bounds.push(row.min(m));
+                }
+                bounds.push(m);
+                // Enforce monotonicity (duplicate boundaries yield empty
+                // chunks, which is fine).
+                for i in 1..bounds.len() {
+                    if bounds[i] < bounds[i - 1] {
+                        bounds[i] = bounds[i - 1];
+                    }
+                }
+                bounds
+            }
+        }
+    }
+
+    /// Work description of an SpMV under the given row partition.
+    pub fn spmv_work(&self, bounds: &[usize]) -> Vec<ChunkWork> {
+        let rp = self.row_ptrs.as_slice();
+        bounds
+            .windows(2)
+            .map(|w| {
+                let rows = (w[1] - w[0]) as f64;
+                let nnz = (rp[w[1]].to_usize() - rp[w[0]].to_usize()) as f64;
+                ChunkWork::new(
+                    nnz * (V::BYTES + I::BYTES) as f64 + rows * (I::BYTES + V::BYTES) as f64,
+                    nnz * V::BYTES as f64, // x gathers
+                    2.0 * nnz,
+                )
+            })
+            .collect()
+    }
+
+    fn spmv_into(&self, alpha: V, b: &Dense<V>, beta: V, x: &mut Dense<V>) -> Result<()> {
+        check_apply_dims::<V>(self.size, b, x)?;
+        if !self.executor().same_memory_space(b.executor()) {
+            return Err(GkoError::ExecutorMismatch {
+                left: self.executor().name().to_owned(),
+                right: b.executor().name().to_owned(),
+            });
+        }
+        let k = b.size().cols;
+        let spec = self.executor().spec();
+        let bounds = self.chunk_bounds(spec.workers * 4);
+        let work = self.spmv_work(&bounds);
+
+        let rp = self.row_ptrs.as_slice();
+        let ci = self.col_idxs.as_slice();
+        let vals = self.values.as_slice();
+        let bv = b.as_slice();
+        let threads = self.executor().functional_threads();
+        let elem_bounds: Vec<usize> = bounds.iter().map(|&r| r * k).collect();
+        parallel_chunks(threads, x.as_mut_slice(), &elem_bounds, |chunk, xs| {
+            let row0 = bounds[chunk];
+            for (local, xrow) in xs.chunks_mut(k).enumerate() {
+                let r = row0 + local;
+                let (lo, hi) = (rp[r].to_usize(), rp[r + 1].to_usize());
+                for (c, out) in xrow.iter_mut().enumerate() {
+                    let mut acc = 0.0f64;
+                    for idx in lo..hi {
+                        acc += vals[idx].to_f64() * bv[ci[idx].to_usize() * k + c].to_f64();
+                    }
+                    let prod = V::from_f64(acc);
+                    *out = if beta == V::zero() {
+                        alpha * prod
+                    } else {
+                        alpha * prod + beta * *out
+                    };
+                }
+            }
+        });
+        self.executor().launch(&work);
+        Ok(())
+    }
+}
+
+impl<V: Value, I: Index> LinOp<V> for Csr<V, I> {
+    fn size(&self) -> Dim2 {
+        self.size
+    }
+
+    fn executor(&self) -> &Executor {
+        self.values.executor()
+    }
+
+    fn apply(&self, b: &Dense<V>, x: &mut Dense<V>) -> Result<()> {
+        self.spmv_into(V::one(), b, V::zero(), x)
+    }
+
+    fn apply_advanced(&self, alpha: V, b: &Dense<V>, beta: V, x: &mut Dense<V>) -> Result<()> {
+        self.spmv_into(alpha, b, beta, x)
+    }
+
+    fn op_name(&self) -> &'static str {
+        "csr"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec() -> Executor {
+        Executor::reference()
+    }
+
+    /// 3x3 test matrix:
+    /// [ 2 0 1 ]
+    /// [ 0 3 0 ]
+    /// [ 4 5 6 ]
+    fn sample(e: &Executor) -> Csr<f64, i32> {
+        Csr::from_raw(
+            e,
+            Dim2::square(3),
+            vec![0, 2, 3, 6],
+            vec![0, 2, 1, 0, 1, 2],
+            vec![2.0, 1.0, 3.0, 4.0, 5.0, 6.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_catches_malformed_input() {
+        let e = exec();
+        // wrong row_ptrs length
+        assert!(Csr::<f64, i32>::from_raw(&e, Dim2::square(2), vec![0, 1], vec![0], vec![1.0])
+            .is_err());
+        // col out of range
+        assert!(Csr::<f64, i32>::from_raw(
+            &e,
+            Dim2::square(2),
+            vec![0, 1, 1],
+            vec![5],
+            vec![1.0]
+        )
+        .is_err());
+        // unsorted columns in a row
+        assert!(Csr::<f64, i32>::from_raw(
+            &e,
+            Dim2::square(2),
+            vec![0, 2, 2],
+            vec![1, 0],
+            vec![1.0, 2.0]
+        )
+        .is_err());
+        // nnz mismatch
+        assert!(Csr::<f64, i32>::from_raw(
+            &e,
+            Dim2::square(2),
+            vec![0, 1, 3],
+            vec![0, 1],
+            vec![1.0, 2.0]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let e = exec();
+        let a = sample(&e);
+        let b = Dense::from_rows(&e, &[[1.0f64], [2.0], [3.0]]);
+        let mut x = Dense::zeros(&e, Dim2::new(3, 1));
+        a.apply(&b, &mut x).unwrap();
+        assert_eq!(x.to_host_vec(), vec![5.0, 6.0, 32.0]);
+
+        let mut xd = Dense::zeros(&e, Dim2::new(3, 1));
+        a.to_dense().apply(&b, &mut xd).unwrap();
+        assert_eq!(xd.to_host_vec(), x.to_host_vec());
+    }
+
+    #[test]
+    fn advanced_spmv_applies_alpha_beta() {
+        let e = exec();
+        let a = sample(&e);
+        let b = Dense::from_rows(&e, &[[1.0f64], [2.0], [3.0]]);
+        let mut x = Dense::from_rows(&e, &[[1.0f64], [1.0], [1.0]]);
+        a.apply_advanced(2.0, &b, -1.0, &mut x).unwrap();
+        assert_eq!(x.to_host_vec(), vec![9.0, 11.0, 63.0]);
+    }
+
+    #[test]
+    fn strategies_agree_numerically() {
+        let e = exec();
+        let a = sample(&e).with_strategy(SpmvStrategy::Classical);
+        let b = Dense::from_rows(&e, &[[1.0f64], [2.0], [3.0]]);
+        let mut x1 = Dense::zeros(&e, Dim2::new(3, 1));
+        a.apply(&b, &mut x1).unwrap();
+        let a2 = sample(&e).with_strategy(SpmvStrategy::LoadBalance);
+        let mut x2 = Dense::zeros(&e, Dim2::new(3, 1));
+        a2.apply(&b, &mut x2).unwrap();
+        assert_eq!(x1.to_host_vec(), x2.to_host_vec());
+    }
+
+    #[test]
+    fn load_balance_bounds_balance_nnz() {
+        let e = exec();
+        // One heavy row (8 nnz) and 8 light rows (1 nnz each).
+        let mut triplets = vec![];
+        for j in 0..8 {
+            triplets.push((0usize, j, 1.0f64));
+        }
+        for i in 1..9 {
+            triplets.push((i, 0, 1.0));
+        }
+        let a = Csr::<f64, i32>::from_triplets(&e, Dim2::new(9, 9), &triplets).unwrap();
+        let bounds = a.chunk_bounds(4);
+        let rp = a.row_ptrs();
+        let nnz_per_chunk: Vec<usize> = bounds
+            .windows(2)
+            .map(|w| rp[w[1]].to_usize() - rp[w[0]].to_usize())
+            .collect();
+        // The heavy row is alone in its chunk (8 nnz), the rest spread out.
+        assert_eq!(nnz_per_chunk.iter().sum::<usize>(), 16);
+        assert!(nnz_per_chunk[0] >= 8, "heavy row isolated: {nnz_per_chunk:?}");
+
+        let classical = a.with_strategy(SpmvStrategy::Classical).chunk_bounds(4);
+        assert_ne!(bounds, classical);
+    }
+
+    #[test]
+    fn triplets_sum_duplicates() {
+        let e = exec();
+        let a = Csr::<f64, i32>::from_triplets(
+            &e,
+            Dim2::square(2),
+            &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 5.0)],
+        )
+        .unwrap();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.to_dense().at(0, 0), 3.0);
+    }
+
+    #[test]
+    fn triplets_out_of_range_rejected() {
+        let e = exec();
+        assert!(
+            Csr::<f64, i32>::from_triplets(&e, Dim2::square(2), &[(2, 0, 1.0)]).is_err()
+        );
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let e = exec();
+        let a = sample(&e);
+        assert_eq!(a.extract_diagonal(), vec![2.0, 3.0, 6.0]);
+        // missing diagonal reads as zero
+        let b = Csr::<f64, i32>::from_triplets(&e, Dim2::square(2), &[(0, 1, 7.0)]).unwrap();
+        assert_eq!(b.extract_diagonal(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let e = exec();
+        let a = sample(&e);
+        let t = a.transpose();
+        assert_eq!(t.to_dense().at(0, 2), 4.0);
+        assert_eq!(t.to_dense().at(2, 0), 1.0);
+        let tt = t.transpose();
+        assert_eq!(tt.to_dense().to_host_vec(), a.to_dense().to_host_vec());
+    }
+
+    #[test]
+    fn from_dense_roundtrip() {
+        let e = exec();
+        let d = Dense::from_rows(&e, &[[0.0f64, 1.5], [2.5, 0.0]]);
+        let a = Csr::<f64, i32>::from_dense(&d);
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.to_dense().to_host_vec(), d.to_host_vec());
+    }
+
+    #[test]
+    fn int64_indices_work() {
+        let e = exec();
+        let a = Csr::<f32, i64>::from_triplets(
+            &e,
+            Dim2::square(2),
+            &[(0, 0, 2.0), (1, 1, 3.0)],
+        )
+        .unwrap();
+        let b = Dense::from_rows(&e, &[[1.0f32], [1.0]]);
+        let mut x = Dense::zeros(&e, Dim2::new(2, 1));
+        a.apply(&b, &mut x).unwrap();
+        assert_eq!(x.to_host_vec(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn spmv_work_accounts_all_nnz() {
+        let e = exec();
+        let a = sample(&e);
+        let bounds = a.chunk_bounds(2);
+        let work = a.spmv_work(&bounds);
+        let flops: f64 = work.iter().map(|w| w.flops).sum();
+        assert_eq!(flops, 2.0 * a.nnz() as f64);
+    }
+}

@@ -1,0 +1,190 @@
+//! Diagonal matrices (Ginkgo's `matrix::Diagonal`) — used for row/column
+//! scaling and as the cheapest preconditioner building block.
+
+use crate::base::array::Array;
+use crate::base::dim::Dim2;
+use crate::base::error::{GkoError, Result};
+use crate::base::types::{Index, Value};
+use crate::executor::Executor;
+use crate::linop::{check_apply_dims, LinOp};
+use crate::matrix::csr::Csr;
+use crate::matrix::dense::Dense;
+use pygko_sim::ChunkWork;
+
+/// A diagonal matrix stored as its diagonal values.
+#[derive(Debug, Clone)]
+pub struct Diagonal<V: Value> {
+    values: Array<V>,
+}
+
+impl<V: Value> Diagonal<V> {
+    /// Creates a diagonal matrix from its entries.
+    pub fn new(exec: &Executor, values: Vec<V>) -> Self {
+        Diagonal {
+            values: Array::from_vec(exec, values),
+        }
+    }
+
+    /// The diagonal of an existing matrix.
+    pub fn from_matrix<I: Index>(matrix: &Csr<V, I>) -> Self {
+        Diagonal::new(matrix.executor(), matrix.extract_diagonal())
+    }
+
+    /// Inverted copy; fails on zero entries.
+    pub fn inverse(&self) -> Result<Diagonal<V>> {
+        let mut inv = Vec::with_capacity(self.values.len());
+        for (i, &v) in self.values.as_slice().iter().enumerate() {
+            if v == V::zero() {
+                return Err(GkoError::Singular { at: i });
+            }
+            inv.push(V::one() / v);
+        }
+        Ok(Diagonal::new(self.values.executor(), inv))
+    }
+
+    /// The diagonal entries.
+    pub fn values(&self) -> &[V] {
+        self.values.as_slice()
+    }
+
+    /// Scales the rows of a CSR matrix in place: `A <- D A`.
+    pub fn scale_rows<I: Index>(&self, matrix: &mut Csr<V, I>) -> Result<()> {
+        if matrix.size().rows != self.values.len() {
+            return Err(GkoError::DimensionMismatch {
+                op: "scale_rows",
+                expected: Dim2::square(self.values.len()),
+                actual: matrix.size(),
+            });
+        }
+        let rp: Vec<usize> = matrix.row_ptrs().iter().map(|p| p.to_usize()).collect();
+        let d = self.values.as_slice().to_vec();
+        let vals = matrix.values_mut();
+        for r in 0..rp.len() - 1 {
+            for v in vals[rp[r]..rp[r + 1]].iter_mut() {
+                *v *= d[r];
+            }
+        }
+        Ok(())
+    }
+
+    /// Scales the columns of a CSR matrix in place: `A <- A D`.
+    pub fn scale_cols<I: Index>(&self, matrix: &mut Csr<V, I>) -> Result<()> {
+        if matrix.size().cols != self.values.len() {
+            return Err(GkoError::DimensionMismatch {
+                op: "scale_cols",
+                expected: Dim2::square(self.values.len()),
+                actual: matrix.size(),
+            });
+        }
+        let cols: Vec<usize> = matrix.col_idxs().iter().map(|c| c.to_usize()).collect();
+        let d = self.values.as_slice().to_vec();
+        for (v, &c) in matrix.values_mut().iter_mut().zip(&cols) {
+            *v *= d[c];
+        }
+        Ok(())
+    }
+}
+
+impl<V: Value> LinOp<V> for Diagonal<V> {
+    fn size(&self) -> Dim2 {
+        Dim2::square(self.values.len())
+    }
+
+    fn executor(&self) -> &Executor {
+        self.values.executor()
+    }
+
+    fn apply(&self, b: &Dense<V>, x: &mut Dense<V>) -> Result<()> {
+        check_apply_dims::<V>(self.size(), b, x)?;
+        let k = b.size().cols;
+        let d = self.values.as_slice();
+        let bv = b.as_slice();
+        let xs = x.as_mut_slice();
+        for (i, &di) in d.iter().enumerate() {
+            for c in 0..k {
+                xs[i * k + c] = di * bv[i * k + c];
+            }
+        }
+        let n = (d.len() * k) as f64;
+        self.executor().launch(&[ChunkWork::new(
+            n * 3.0 * V::BYTES as f64,
+            0.0,
+            n,
+        )]);
+        Ok(())
+    }
+
+    fn op_name(&self) -> &'static str {
+        "diagonal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_scales_entries() {
+        let exec = Executor::reference();
+        let d = Diagonal::new(&exec, vec![2.0f64, 3.0, -1.0]);
+        let b = Dense::from_rows(&exec, &[[1.0f64], [1.0], [4.0]]);
+        let mut x = Dense::zeros(&exec, Dim2::new(3, 1));
+        d.apply(&b, &mut x).unwrap();
+        assert_eq!(x.to_host_vec(), vec![2.0, 3.0, -4.0]);
+    }
+
+    #[test]
+    fn inverse_round_trips_and_detects_zero() {
+        let exec = Executor::reference();
+        let d = Diagonal::new(&exec, vec![2.0f64, 4.0]);
+        let inv = d.inverse().unwrap();
+        assert_eq!(inv.values(), &[0.5, 0.25]);
+        let zero = Diagonal::new(&exec, vec![1.0f64, 0.0]);
+        assert_eq!(zero.inverse().unwrap_err(), GkoError::Singular { at: 1 });
+    }
+
+    #[test]
+    fn row_and_column_scaling() {
+        let exec = Executor::reference();
+        let mut a = Csr::<f64, i32>::from_triplets(
+            &exec,
+            Dim2::square(2),
+            &[(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0)],
+        )
+        .unwrap();
+        let d = Diagonal::new(&exec, vec![2.0f64, 10.0]);
+        d.scale_rows(&mut a).unwrap();
+        assert_eq!(a.to_dense().to_host_vec(), vec![2.0, 4.0, 0.0, 30.0]);
+        d.scale_cols(&mut a).unwrap();
+        assert_eq!(a.to_dense().to_host_vec(), vec![4.0, 40.0, 0.0, 300.0]);
+    }
+
+    #[test]
+    fn equilibration_improves_conditioning() {
+        // D^{-1} A with D = diag(A) has unit diagonal — the classic Jacobi
+        // equilibration, composed from Diagonal pieces.
+        let exec = Executor::reference();
+        let mut a = Csr::<f64, i32>::from_triplets(
+            &exec,
+            Dim2::square(3),
+            &[(0, 0, 100.0), (0, 1, 1.0), (1, 1, 0.01), (2, 2, 5.0)],
+        )
+        .unwrap();
+        let dinv = Diagonal::from_matrix(&a).inverse().unwrap();
+        dinv.scale_rows(&mut a).unwrap();
+        assert_eq!(a.extract_diagonal(), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let exec = Executor::reference();
+        let d = Diagonal::new(&exec, vec![1.0f64; 3]);
+        let mut a =
+            Csr::<f64, i32>::from_triplets(&exec, Dim2::square(2), &[(0, 0, 1.0)]).unwrap();
+        assert!(d.scale_rows(&mut a).is_err());
+        assert!(d.scale_cols(&mut a).is_err());
+        let b = Dense::<f64>::vector(&exec, 2, 1.0);
+        let mut x = Dense::zeros(&exec, Dim2::new(3, 1));
+        assert!(d.apply(&b, &mut x).is_err());
+    }
+}

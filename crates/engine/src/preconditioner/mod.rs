@@ -1,0 +1,16 @@
+//! Preconditioners (all of them `LinOp`s applying `z = M^{-1} r`).
+//!
+//! The paper's Listing 1 uses ILU with GMRES; Listing 2 configures scalar
+//! Jacobi through the config solver. Available:
+//!
+//! * [`Jacobi`](jacobi::Jacobi) — scalar (block size 1) and block Jacobi;
+//! * [`Ilu`](ilu::Ilu) — ILU(0) forward/backward triangular sweeps;
+//! * [`Ic`](ic::Ic) — IC(0) Cholesky sweeps for SPD systems.
+
+pub mod ic;
+pub mod ilu;
+pub mod jacobi;
+
+pub use ic::Ic;
+pub use ilu::Ilu;
+pub use jacobi::Jacobi;

@@ -1,0 +1,246 @@
+//! MINRES (Paige & Saunders 1975) for symmetric, possibly indefinite
+//! systems — one of the CuPy solvers the paper's §6.2.1 enumerates, provided
+//! here for solver-set parity.
+
+use crate::base::dim::Dim2;
+use crate::base::error::Result;
+use crate::base::types::Value;
+use crate::executor::Executor;
+use crate::linop::LinOp;
+use crate::log::ConvergenceLogger;
+use crate::matrix::dense::Dense;
+use crate::solver::SolverCore;
+use crate::stop::{Criteria, StopReason};
+use std::sync::Arc;
+
+/// The MINRES solver (unpreconditioned Lanczos with on-the-fly Givens QR).
+pub struct Minres<V: Value> {
+    core: SolverCore<V>,
+}
+
+impl<V: Value> Minres<V> {
+    /// Creates a MINRES solver for the given symmetric system operator.
+    pub fn new(system: Arc<dyn LinOp<V>>) -> Result<Self> {
+        Ok(Minres {
+            core: SolverCore::new(system)?,
+        })
+    }
+
+    /// Sets the stopping criteria.
+    pub fn with_criteria(mut self, criteria: Criteria) -> Self {
+        self.core.criteria = criteria;
+        self
+    }
+
+    /// The logger recording residual history.
+    pub fn logger(&self) -> &ConvergenceLogger {
+        &self.core.logger
+    }
+}
+
+impl<V: Value> LinOp<V> for Minres<V> {
+    fn size(&self) -> Dim2 {
+        self.core.system.size()
+    }
+
+    fn executor(&self) -> &Executor {
+        self.core.system.executor()
+    }
+
+    fn apply(&self, b: &Dense<V>, x: &mut Dense<V>) -> Result<()> {
+        let core = &self.core;
+        core.check_vectors(b, x)?;
+        let exec = x.executor().clone();
+        let n = self.size().rows;
+        let dim = Dim2::new(n, 1);
+
+        // r0 = b - A x; v1 = r0 / beta1.
+        let mut v = Dense::zeros(&exec, dim);
+        core.residual(b, x, &mut v)?;
+        let beta1 = v.compute_norm2();
+        core.logger.begin(beta1);
+        if let Some(reason) = core.criteria.check(0, beta1, beta1) {
+            core.logger.finish(0, reason);
+            return Ok(());
+        }
+        if beta1 == 0.0 || !beta1.is_finite() {
+            core.logger.finish(0, StopReason::Breakdown);
+            return Ok(());
+        }
+        v.scale(V::from_f64(1.0 / beta1));
+
+        let mut v_old = Dense::zeros(&exec, dim);
+        let mut av = Dense::zeros(&exec, dim);
+        let mut w = Dense::zeros(&exec, dim);
+        let mut w_old = Dense::zeros(&exec, dim);
+        let mut w_new = Dense::zeros(&exec, dim);
+
+        let mut beta = beta1;
+        let mut eta = beta1;
+        let (mut gamma0, mut gamma1) = (1.0f64, 1.0f64);
+        let (mut sigma0, mut sigma1) = (0.0f64, 0.0f64);
+
+        let mut iter = 0usize;
+        loop {
+            iter += 1;
+            // Lanczos step: alpha, next v.
+            core.system.apply(&v, &mut av)?;
+            let alpha = v.compute_dot(&av)?;
+            av.add_scaled(V::from_f64(-alpha), &v)?;
+            av.add_scaled(V::from_f64(-beta), &v_old)?;
+            let beta_new = av.compute_norm2();
+
+            // Givens QR of the tridiagonal's new column.
+            let delta = gamma1 * alpha - gamma0 * sigma1 * beta;
+            let rho1 = (delta * delta + beta_new * beta_new).sqrt();
+            let rho2 = sigma1 * alpha + gamma0 * gamma1 * beta;
+            let rho3 = sigma0 * beta;
+            if rho1 == 0.0 || !rho1.is_finite() {
+                core.logger.finish(iter - 1, StopReason::Breakdown);
+                return Ok(());
+            }
+            let gamma_new = delta / rho1;
+            let sigma_new = beta_new / rho1;
+
+            // Solution direction: w_new = (v - rho3 w_old - rho2 w) / rho1.
+            w_new.copy_from(&v)?;
+            w_new.add_scaled(V::from_f64(-rho3), &w_old)?;
+            w_new.add_scaled(V::from_f64(-rho2), &w)?;
+            w_new.scale(V::from_f64(1.0 / rho1));
+            x.add_scaled(V::from_f64(gamma_new * eta), &w_new)?;
+            eta = -sigma_new * eta;
+
+            // Shift registers.
+            std::mem::swap(&mut w_old, &mut w);
+            std::mem::swap(&mut w, &mut w_new);
+            std::mem::swap(&mut v_old, &mut v);
+            std::mem::swap(&mut v, &mut av);
+            if beta_new > 0.0 {
+                v.scale(V::from_f64(1.0 / beta_new));
+            }
+            gamma0 = gamma1;
+            gamma1 = gamma_new;
+            sigma0 = sigma1;
+            sigma1 = sigma_new;
+            beta = beta_new;
+
+            let res_est = eta.abs();
+            core.logger.record_residual(iter, res_est);
+            if let Some(reason) = core.criteria.check(iter, res_est, beta1) {
+                core.logger.finish(iter, reason);
+                return Ok(());
+            }
+            if beta_new == 0.0 {
+                core.logger.finish(iter, StopReason::ResidualReduction);
+                return Ok(());
+            }
+        }
+    }
+
+    fn op_name(&self) -> &'static str {
+        "solver::Minres"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::csr::Csr;
+
+    fn residual(a: &Csr<f64, i32>, b: &Dense<f64>, x: &Dense<f64>) -> f64 {
+        let exec = b.executor();
+        let mut r = Dense::zeros(exec, b.size());
+        r.copy_from(b).unwrap();
+        a.apply_advanced(-1.0, x, 1.0, &mut r).unwrap();
+        r.compute_norm2()
+    }
+
+    #[test]
+    fn solves_spd_system() {
+        let exec = Executor::reference();
+        let n = 50;
+        let mut t = vec![];
+        for i in 0..n {
+            t.push((i, i, 4.0));
+            if i > 0 {
+                t.push((i, i - 1, -1.0));
+                t.push((i - 1, i, -1.0));
+            }
+        }
+        let a = Arc::new(Csr::<f64, i32>::from_triplets(&exec, Dim2::square(n), &t).unwrap());
+        let solver = Minres::new(a.clone())
+            .unwrap()
+            .with_criteria(Criteria::iterations_and_reduction(500, 1e-10));
+        let b = Dense::<f64>::vector(&exec, n, 1.0);
+        let mut x = Dense::<f64>::vector(&exec, n, 0.0);
+        solver.apply(&b, &mut x).unwrap();
+        assert!(solver.logger().snapshot().converged());
+        assert!(residual(&a, &b, &x) < 1e-7);
+    }
+
+    #[test]
+    fn solves_symmetric_indefinite_system_where_cg_breaks() {
+        // Saddle-point-like matrix: symmetric with positive and negative
+        // eigenvalues. CG's theory does not apply; MINRES handles it.
+        let exec = Executor::reference();
+        let n = 40;
+        let mut t = vec![];
+        for i in 0..n {
+            let sign = if i < n / 2 { 1.0 } else { -1.0 };
+            t.push((i, i, sign * (2.0 + (i % 3) as f64)));
+            if i > 0 {
+                t.push((i, i - 1, 0.3));
+                t.push((i - 1, i, 0.3));
+            }
+        }
+        let a = Arc::new(Csr::<f64, i32>::from_triplets(&exec, Dim2::square(n), &t).unwrap());
+        let solver = Minres::new(a.clone())
+            .unwrap()
+            .with_criteria(Criteria::iterations_and_reduction(2000, 1e-9));
+        let b = Dense::<f64>::vector(&exec, n, 1.0);
+        let mut x = Dense::<f64>::vector(&exec, n, 0.0);
+        solver.apply(&b, &mut x).unwrap();
+        let rec = solver.logger().snapshot();
+        assert!(rec.converged(), "{:?}", rec.stop_reason);
+        assert!(residual(&a, &b, &x) < 1e-6, "residual {}", residual(&a, &b, &x));
+    }
+
+    #[test]
+    fn residual_estimate_tracks_true_residual() {
+        let exec = Executor::reference();
+        let n = 30;
+        let mut t = vec![];
+        for i in 0..n {
+            t.push((i, i, 3.0));
+            if i > 0 {
+                t.push((i, i - 1, -1.0));
+                t.push((i - 1, i, -1.0));
+            }
+        }
+        let a = Arc::new(Csr::<f64, i32>::from_triplets(&exec, Dim2::square(n), &t).unwrap());
+        let solver = Minres::new(a.clone())
+            .unwrap()
+            .with_criteria(Criteria::iterations(15));
+        let b = Dense::<f64>::vector(&exec, n, 1.0);
+        let mut x = Dense::<f64>::vector(&exec, n, 0.0);
+        solver.apply(&b, &mut x).unwrap();
+        let est = solver.logger().snapshot().final_residual;
+        let true_res = residual(&a, &b, &x);
+        assert!(
+            (est - true_res).abs() < 1e-8 * (1.0 + true_res),
+            "estimate {est} vs true {true_res}"
+        );
+    }
+
+    #[test]
+    fn iteration_limit_respected() {
+        let exec = Executor::reference();
+        let t: Vec<(usize, usize, f64)> = (0..20).map(|i| (i, i, (i + 1) as f64)).collect();
+        let a = Arc::new(Csr::<f64, i32>::from_triplets(&exec, Dim2::square(20), &t).unwrap());
+        let solver = Minres::new(a).unwrap().with_criteria(Criteria::iterations(5));
+        let b = Dense::<f64>::vector(&exec, 20, 1.0);
+        let mut x = Dense::<f64>::vector(&exec, 20, 0.0);
+        solver.apply(&b, &mut x).unwrap();
+        assert_eq!(solver.logger().snapshot().iterations, 5);
+    }
+}

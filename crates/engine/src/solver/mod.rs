@@ -1,0 +1,107 @@
+//! Iterative and direct solvers.
+//!
+//! All solvers are [`LinOp`](crate::linop::LinOp)s: `apply(b, x)` solves
+//! `A x = b` starting from the initial guess in `x` and overwrites `x` with
+//! the solution (Listing 1's usage). Each solver owns a
+//! [`ConvergenceLogger`](crate::log::ConvergenceLogger) that records residual
+//! history and the stop reason; failures to converge are reported through
+//! the logger, not as errors, matching Ginkgo.
+//!
+//! Implemented Krylov methods: [`Cg`](cg::Cg), [`Fcg`](fcg::Fcg),
+//! [`Cgs`](cgs::Cgs), [`BiCgStab`](bicgstab::BiCgStab),
+//! [`Minres`](minres::Minres), and [`Gmres`](gmres::Gmres) (restarted,
+//! Givens rotations, per-iteration residual checks — §6.2.1's description of
+//! Ginkgo's GMRES). Also: [`Ir`](ir::Ir) (Richardson iteration),
+//! [`MixedIr`](mixed::MixedIr) (mixed-precision iterative refinement),
+//! [`LowerTrs`]/[`UpperTrs`](triangular) sparse triangular solves, and a
+//! dense-LU [`Direct`](direct::Direct) solver.
+
+pub mod bicgstab;
+pub mod cg;
+pub mod cgs;
+pub mod direct;
+pub mod fcg;
+pub mod gmres;
+pub mod ir;
+pub mod minres;
+pub mod mixed;
+pub mod triangular;
+
+pub use bicgstab::BiCgStab;
+pub use cg::Cg;
+pub use cgs::Cgs;
+pub use direct::Direct;
+pub use fcg::Fcg;
+pub use gmres::Gmres;
+pub use ir::Ir;
+pub use minres::Minres;
+pub use mixed::MixedIr;
+pub use triangular::{LowerTrs, UpperTrs};
+
+use crate::base::dim::Dim2;
+use crate::base::error::{GkoError, Result};
+use crate::base::types::Value;
+use crate::linop::{Identity, LinOp};
+use crate::matrix::dense::Dense;
+use std::sync::Arc;
+
+/// Shared state of every iterative solver: the system operator, an optional
+/// preconditioner (identity when absent), stopping criteria, and a logger.
+pub(crate) struct SolverCore<V: Value> {
+    pub system: Arc<dyn LinOp<V>>,
+    pub precond: Arc<dyn LinOp<V>>,
+    pub criteria: crate::stop::Criteria,
+    pub logger: crate::log::ConvergenceLogger,
+}
+
+impl<V: Value> SolverCore<V> {
+    pub fn new(system: Arc<dyn LinOp<V>>) -> Result<Self> {
+        if !system.size().is_square() {
+            return Err(GkoError::BadInput(format!(
+                "iterative solvers need a square system, got {}",
+                system.size()
+            )));
+        }
+        let n = system.size().rows;
+        let identity = Identity::new(system.executor(), n);
+        Ok(SolverCore {
+            system,
+            precond: identity,
+            criteria: crate::stop::Criteria::default(),
+            logger: crate::log::ConvergenceLogger::new(),
+        })
+    }
+
+    pub fn set_preconditioner(&mut self, precond: Arc<dyn LinOp<V>>) -> Result<()> {
+        if precond.size() != self.system.size() {
+            return Err(GkoError::DimensionMismatch {
+                op: "preconditioner",
+                expected: self.system.size(),
+                actual: precond.size(),
+            });
+        }
+        self.precond = precond;
+        Ok(())
+    }
+
+    /// Validates `b`/`x` shapes for a solve (single right-hand side).
+    pub fn check_vectors(&self, b: &Dense<V>, x: &Dense<V>) -> Result<()> {
+        let n = self.system.size().rows;
+        let want = Dim2::new(n, 1);
+        if b.size() != want || x.size() != want {
+            return Err(GkoError::DimensionMismatch {
+                op: "solve",
+                expected: want,
+                actual: if b.size() != want { b.size() } else { x.size() },
+            });
+        }
+        Ok(())
+    }
+
+    /// Computes `r = b - A x` into `r`.
+    pub fn residual(&self, b: &Dense<V>, x: &Dense<V>, r: &mut Dense<V>) -> Result<()> {
+        r.copy_from(b)?;
+        self.system
+            .apply_advanced(V::from_f64(-1.0), x, V::one(), r)
+    }
+}

@@ -1,0 +1,140 @@
+//! Stopping criteria (Ginkgo's `stop::Criterion` factories).
+//!
+//! The paper's examples (Listings 1 and 2) combine a maximum iteration count
+//! with a relative residual reduction factor; criteria are OR-combined, as
+//! in Ginkgo.
+
+/// Why an iteration stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The iteration limit was reached without convergence.
+    MaxIterations,
+    /// `||r|| <= reduction_factor * ||r0||`.
+    ResidualReduction,
+    /// `||r|| <= absolute tolerance`.
+    AbsoluteResidual,
+    /// The iteration broke down numerically (reported by solvers).
+    Breakdown,
+}
+
+impl StopReason {
+    /// True if the stop indicates convergence (rather than giving up).
+    pub fn is_converged(self) -> bool {
+        matches!(
+            self,
+            StopReason::ResidualReduction | StopReason::AbsoluteResidual
+        )
+    }
+}
+
+/// OR-combination of stopping criteria.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Criteria {
+    /// Stop after this many iterations (always present as a safety net).
+    pub max_iters: usize,
+    /// Stop when the residual norm has been reduced by this factor relative
+    /// to the initial residual.
+    pub reduction_factor: Option<f64>,
+    /// Stop when the residual norm falls below this absolute value.
+    pub abs_tolerance: Option<f64>,
+}
+
+impl Default for Criteria {
+    fn default() -> Self {
+        Criteria {
+            max_iters: 1000,
+            reduction_factor: Some(1e-6),
+            abs_tolerance: None,
+        }
+    }
+}
+
+impl Criteria {
+    /// Criteria with only an iteration limit (the paper's fixed-iteration
+    /// solver benchmarks disable residual-based stopping this way).
+    pub fn iterations(max_iters: usize) -> Self {
+        Criteria {
+            max_iters,
+            reduction_factor: None,
+            abs_tolerance: None,
+        }
+    }
+
+    /// Iteration limit plus relative residual reduction (Listing 1's setup).
+    pub fn iterations_and_reduction(max_iters: usize, reduction_factor: f64) -> Self {
+        Criteria {
+            max_iters,
+            reduction_factor: Some(reduction_factor),
+            abs_tolerance: None,
+        }
+    }
+
+    /// Adds an absolute residual tolerance.
+    pub fn with_abs_tolerance(mut self, tol: f64) -> Self {
+        self.abs_tolerance = Some(tol);
+        self
+    }
+
+    /// Checks the state *after* `iters_done` completed iterations.
+    ///
+    /// `baseline` is the initial residual norm. Returns `Some(reason)` when
+    /// the iteration should stop.
+    pub fn check(&self, iters_done: usize, res_norm: f64, baseline: f64) -> Option<StopReason> {
+        if let Some(tol) = self.abs_tolerance {
+            if res_norm <= tol {
+                return Some(StopReason::AbsoluteResidual);
+            }
+        }
+        if let Some(factor) = self.reduction_factor {
+            if res_norm <= factor * baseline {
+                return Some(StopReason::ResidualReduction);
+            }
+        }
+        if iters_done >= self.max_iters {
+            return Some(StopReason::MaxIterations);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_listing() {
+        let c = Criteria::default();
+        assert_eq!(c.max_iters, 1000);
+        assert_eq!(c.reduction_factor, Some(1e-6));
+    }
+
+    #[test]
+    fn iteration_limit_fires_at_limit() {
+        let c = Criteria::iterations(10);
+        assert_eq!(c.check(9, 1.0, 1.0), None);
+        assert_eq!(c.check(10, 1.0, 1.0), Some(StopReason::MaxIterations));
+    }
+
+    #[test]
+    fn reduction_factor_is_relative() {
+        let c = Criteria::iterations_and_reduction(100, 1e-3);
+        // 0.05 <= 1e-3 * 100 -> converged relative to the large baseline...
+        assert_eq!(c.check(1, 0.05, 100.0), Some(StopReason::ResidualReduction));
+        // ...but not relative to a baseline of 1.
+        assert_eq!(c.check(1, 0.05, 1.0), None);
+    }
+
+    #[test]
+    fn absolute_tolerance_takes_priority() {
+        let c = Criteria::iterations_and_reduction(100, 1e-3).with_abs_tolerance(1e-8);
+        assert_eq!(c.check(1, 1e-9, 1.0), Some(StopReason::AbsoluteResidual));
+    }
+
+    #[test]
+    fn converged_classification() {
+        assert!(StopReason::ResidualReduction.is_converged());
+        assert!(StopReason::AbsoluteResidual.is_converged());
+        assert!(!StopReason::MaxIterations.is_converged());
+        assert!(!StopReason::Breakdown.is_converged());
+    }
+}

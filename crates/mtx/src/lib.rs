@@ -1,0 +1,516 @@
+//! Matrix Market (`.mtx`) file reader and writer.
+//!
+//! pyGinkgo's `read` function (Listing 1) loads SuiteSparse matrices from
+//! Matrix Market files. This crate implements the format from the NIST
+//! specification: `coordinate` and `array` layouts; `real`, `integer`, and
+//! `pattern` fields; `general`, `symmetric`, and `skew-symmetric`
+//! symmetries. (`complex`/`hermitian` are rejected with a clear error — the
+//! reproduction's value types are real, per Table 1 of the paper.)
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Storage layout declared in the header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MtxFormat {
+    /// Sparse triplet list.
+    Coordinate,
+    /// Dense column-major values.
+    Array,
+}
+
+/// Symmetry declared in the header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MtxSymmetry {
+    /// All entries stored explicitly.
+    General,
+    /// Lower triangle stored; `(i, j)` implies `(j, i)` with equal value.
+    Symmetric,
+    /// Strictly lower triangle stored; `(i, j)` implies `(j, i)` negated.
+    SkewSymmetric,
+}
+
+/// A parsed Matrix Market file: sorted, symmetry-expanded triplets.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MtxData {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Expanded entries, sorted by (row, col); duplicates are NOT summed
+    /// (consumers like `Csr::from_triplets` do that).
+    pub entries: Vec<(usize, usize, f64)>,
+    /// The symmetry the file declared (before expansion).
+    pub declared_symmetry: MtxSymmetry,
+    /// The layout the file declared.
+    pub declared_format: MtxFormat,
+}
+
+/// Errors from reading or writing Matrix Market data.
+#[derive(Debug)]
+pub enum MtxError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// The file violates the format specification.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Valid Matrix Market, but a variant this crate does not support.
+    Unsupported(String),
+}
+
+impl fmt::Display for MtxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MtxError::Io(e) => write!(f, "I/O error: {e}"),
+            MtxError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            MtxError::Unsupported(what) => write!(f, "unsupported matrix market variant: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MtxError {}
+
+impl From<std::io::Error> for MtxError {
+    fn from(e: std::io::Error) -> Self {
+        MtxError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> MtxError {
+    MtxError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Reads Matrix Market data from any reader.
+pub fn read_mtx<R: Read>(reader: R) -> Result<MtxData, MtxError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut line_no = 0usize;
+
+    // Header line.
+    let header = loop {
+        match lines.next() {
+            None => return Err(parse_err(line_no, "empty file")),
+            Some(l) => {
+                line_no += 1;
+                let l = l?;
+                if !l.trim().is_empty() {
+                    break l;
+                }
+            }
+        }
+    };
+    let lower = header.to_ascii_lowercase();
+    let tokens: Vec<&str> = lower.split_whitespace().collect();
+    if tokens.len() < 4 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(parse_err(
+            line_no,
+            "header must start with '%%MatrixMarket matrix'",
+        ));
+    }
+    let format = match tokens[2] {
+        "coordinate" => MtxFormat::Coordinate,
+        "array" => MtxFormat::Array,
+        other => return Err(parse_err(line_no, format!("unknown format '{other}'"))),
+    };
+    let field = tokens[3];
+    match field {
+        "real" | "integer" | "pattern" | "double" => {}
+        "complex" | "hermitian" => {
+            return Err(MtxError::Unsupported(format!("field '{field}'")))
+        }
+        other => return Err(parse_err(line_no, format!("unknown field '{other}'"))),
+    }
+    if field == "pattern" && format == MtxFormat::Array {
+        return Err(parse_err(line_no, "array format cannot be pattern"));
+    }
+    let symmetry = match tokens.get(4).copied().unwrap_or("general") {
+        "general" => MtxSymmetry::General,
+        "symmetric" => MtxSymmetry::Symmetric,
+        "skew-symmetric" => MtxSymmetry::SkewSymmetric,
+        "hermitian" => return Err(MtxError::Unsupported("hermitian symmetry".into())),
+        other => return Err(parse_err(line_no, format!("unknown symmetry '{other}'"))),
+    };
+
+    // Size line (after comments).
+    let size_line = loop {
+        match lines.next() {
+            None => return Err(parse_err(line_no, "missing size line")),
+            Some(l) => {
+                line_no += 1;
+                let l = l?;
+                let trimmed = l.trim().to_owned();
+                if trimmed.is_empty() || trimmed.starts_with('%') {
+                    continue;
+                }
+                break trimmed;
+            }
+        }
+    };
+    let nums: Vec<&str> = size_line.split_whitespace().collect();
+
+    let (rows, cols, declared_nnz) = match format {
+        MtxFormat::Coordinate => {
+            if nums.len() != 3 {
+                return Err(parse_err(line_no, "coordinate size line needs 'rows cols nnz'"));
+            }
+            let r: usize = nums[0].parse().map_err(|_| parse_err(line_no, "bad rows"))?;
+            let c: usize = nums[1].parse().map_err(|_| parse_err(line_no, "bad cols"))?;
+            let n: usize = nums[2].parse().map_err(|_| parse_err(line_no, "bad nnz"))?;
+            (r, c, Some(n))
+        }
+        MtxFormat::Array => {
+            if nums.len() != 2 {
+                return Err(parse_err(line_no, "array size line needs 'rows cols'"));
+            }
+            let r: usize = nums[0].parse().map_err(|_| parse_err(line_no, "bad rows"))?;
+            let c: usize = nums[1].parse().map_err(|_| parse_err(line_no, "bad cols"))?;
+            (r, c, None)
+        }
+    };
+
+    let mut entries: Vec<(usize, usize, f64)> = Vec::new();
+    match format {
+        MtxFormat::Coordinate => {
+            let expected = declared_nnz.unwrap();
+            entries.reserve(expected * 2);
+            let mut seen = 0usize;
+            for l in lines {
+                line_no += 1;
+                let l = l?;
+                let t = l.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                let parts: Vec<&str> = t.split_whitespace().collect();
+                let want = if field == "pattern" { 2 } else { 3 };
+                if parts.len() < want {
+                    return Err(parse_err(line_no, "too few values on entry line"));
+                }
+                let i: usize = parts[0]
+                    .parse()
+                    .map_err(|_| parse_err(line_no, "bad row index"))?;
+                let j: usize = parts[1]
+                    .parse()
+                    .map_err(|_| parse_err(line_no, "bad col index"))?;
+                if i == 0 || j == 0 || i > rows || j > cols {
+                    return Err(parse_err(
+                        line_no,
+                        format!("entry ({i}, {j}) outside {rows}x{cols} (indices are 1-based)"),
+                    ));
+                }
+                let v: f64 = if field == "pattern" {
+                    1.0
+                } else {
+                    parts[2]
+                        .parse()
+                        .map_err(|_| parse_err(line_no, "bad value"))?
+                };
+                let (i0, j0) = (i - 1, j - 1);
+                match symmetry {
+                    MtxSymmetry::General => entries.push((i0, j0, v)),
+                    MtxSymmetry::Symmetric => {
+                        if j0 > i0 {
+                            return Err(parse_err(
+                                line_no,
+                                "symmetric file stores only the lower triangle",
+                            ));
+                        }
+                        entries.push((i0, j0, v));
+                        if i0 != j0 {
+                            entries.push((j0, i0, v));
+                        }
+                    }
+                    MtxSymmetry::SkewSymmetric => {
+                        if j0 >= i0 {
+                            return Err(parse_err(
+                                line_no,
+                                "skew-symmetric file stores only the strict lower triangle",
+                            ));
+                        }
+                        entries.push((i0, j0, v));
+                        entries.push((j0, i0, -v));
+                    }
+                }
+                seen += 1;
+            }
+            if seen != expected {
+                return Err(parse_err(
+                    line_no,
+                    format!("declared {expected} entries but found {seen}"),
+                ));
+            }
+        }
+        MtxFormat::Array => {
+            // Column-major dense values.
+            let expected = match symmetry {
+                MtxSymmetry::General => rows * cols,
+                MtxSymmetry::Symmetric => cols * (cols + 1) / 2,
+                MtxSymmetry::SkewSymmetric => cols * cols.saturating_sub(1) / 2,
+            };
+            let mut values = Vec::with_capacity(expected);
+            for l in lines {
+                line_no += 1;
+                let l = l?;
+                let t = l.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                for tok in t.split_whitespace() {
+                    let v: f64 = tok.parse().map_err(|_| parse_err(line_no, "bad value"))?;
+                    values.push(v);
+                }
+            }
+            if values.len() != expected {
+                return Err(parse_err(
+                    line_no,
+                    format!("expected {expected} array values, found {}", values.len()),
+                ));
+            }
+            let mut it = values.into_iter();
+            match symmetry {
+                MtxSymmetry::General => {
+                    for j in 0..cols {
+                        for i in 0..rows {
+                            let v = it.next().unwrap();
+                            if v != 0.0 {
+                                entries.push((i, j, v));
+                            }
+                        }
+                    }
+                }
+                MtxSymmetry::Symmetric => {
+                    for j in 0..cols {
+                        for i in j..rows {
+                            let v = it.next().unwrap();
+                            if v != 0.0 {
+                                entries.push((i, j, v));
+                                if i != j {
+                                    entries.push((j, i, v));
+                                }
+                            }
+                        }
+                    }
+                }
+                MtxSymmetry::SkewSymmetric => {
+                    for j in 0..cols {
+                        for i in (j + 1)..rows {
+                            let v = it.next().unwrap();
+                            if v != 0.0 {
+                                entries.push((i, j, v));
+                                entries.push((j, i, -v));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    entries.sort_by_key(|&(r, c, _)| (r, c));
+    Ok(MtxData {
+        rows,
+        cols,
+        entries,
+        declared_symmetry: symmetry,
+        declared_format: format,
+    })
+}
+
+/// Reads a Matrix Market file from disk.
+pub fn read_mtx_file(path: impl AsRef<Path>) -> Result<MtxData, MtxError> {
+    let file = std::fs::File::open(path)?;
+    read_mtx(file)
+}
+
+/// Writes triplets as a `coordinate real general` Matrix Market document.
+pub fn write_mtx<W: Write>(
+    writer: &mut W,
+    rows: usize,
+    cols: usize,
+    entries: &[(usize, usize, f64)],
+) -> Result<(), MtxError> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "% written by pygko-mtx")?;
+    writeln!(writer, "{rows} {cols} {}", entries.len())?;
+    for &(r, c, v) in entries {
+        writeln!(writer, "{} {} {v:?}", r + 1, c + 1)?;
+    }
+    Ok(())
+}
+
+/// Writes triplets to a file on disk.
+pub fn write_mtx_file(
+    path: impl AsRef<Path>,
+    rows: usize,
+    cols: usize,
+    entries: &[(usize, usize, f64)],
+) -> Result<(), MtxError> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_mtx(&mut file, rows, cols, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_general_coordinate() {
+        let doc = "%%MatrixMarket matrix coordinate real general\n\
+                   % a comment\n\
+                   3 3 2\n\
+                   1 1 2.5\n\
+                   3 2 -1.0\n";
+        let m = read_mtx(doc.as_bytes()).unwrap();
+        assert_eq!((m.rows, m.cols), (3, 3));
+        assert_eq!(m.entries, vec![(0, 0, 2.5), (2, 1, -1.0)]);
+        assert_eq!(m.declared_symmetry, MtxSymmetry::General);
+    }
+
+    #[test]
+    fn expands_symmetric_storage() {
+        let doc = "%%MatrixMarket matrix coordinate real symmetric\n\
+                   2 2 2\n\
+                   1 1 4.0\n\
+                   2 1 -1.0\n";
+        let m = read_mtx(doc.as_bytes()).unwrap();
+        assert_eq!(
+            m.entries,
+            vec![(0, 0, 4.0), (0, 1, -1.0), (1, 0, -1.0)]
+        );
+    }
+
+    #[test]
+    fn expands_skew_symmetric_with_negation() {
+        let doc = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                   2 2 1\n\
+                   2 1 3.0\n";
+        let m = read_mtx(doc.as_bytes()).unwrap();
+        assert_eq!(m.entries, vec![(0, 1, -3.0), (1, 0, 3.0)]);
+    }
+
+    #[test]
+    fn pattern_entries_become_ones() {
+        let doc = "%%MatrixMarket matrix coordinate pattern general\n\
+                   2 2 2\n\
+                   1 2\n\
+                   2 1\n";
+        let m = read_mtx(doc.as_bytes()).unwrap();
+        assert_eq!(m.entries, vec![(0, 1, 1.0), (1, 0, 1.0)]);
+    }
+
+    #[test]
+    fn reads_dense_array_column_major() {
+        let doc = "%%MatrixMarket matrix array real general\n\
+                   2 2\n\
+                   1.0\n0.0\n3.0\n4.0\n";
+        let m = read_mtx(doc.as_bytes()).unwrap();
+        // Column-major: (0,0)=1, (1,0)=0 (dropped), (0,1)=3, (1,1)=4.
+        assert_eq!(m.entries, vec![(0, 0, 1.0), (0, 1, 3.0), (1, 1, 4.0)]);
+        assert_eq!(m.declared_format, MtxFormat::Array);
+    }
+
+    #[test]
+    fn symmetric_array_reads_lower_triangle() {
+        let doc = "%%MatrixMarket matrix array real symmetric\n\
+                   2 2\n\
+                   1.0\n2.0\n3.0\n";
+        let m = read_mtx(doc.as_bytes()).unwrap();
+        assert_eq!(
+            m.entries,
+            vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 3.0)]
+        );
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let entries = vec![(0usize, 0usize, 1.5f64), (1, 2, -2.25), (4, 4, 1e-30)];
+        let mut buf = Vec::new();
+        write_mtx(&mut buf, 5, 5, &entries).unwrap();
+        let m = read_mtx(buf.as_slice()).unwrap();
+        assert_eq!((m.rows, m.cols), (5, 5));
+        assert_eq!(m.entries, entries);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("pygko_mtx_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m1.mtx");
+        write_mtx_file(&path, 2, 2, &[(0, 1, 7.0)]).unwrap();
+        let m = read_mtx_file(&path).unwrap();
+        assert_eq!(m.entries, vec![(0, 1, 7.0)]);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_context() {
+        let cases: Vec<(&str, &str)> = vec![
+            ("", "empty"),
+            ("not a header\n1 1 0\n", "header"),
+            ("%%MatrixMarket matrix coordinate real general\n", "size"),
+            (
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n",
+                "outside",
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+                "declared 2 entries but found 1",
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 2 1.0\n",
+                "lower triangle",
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n",
+                "bad value",
+            ),
+            (
+                "%%MatrixMarket matrix array real general\n2 2\n1.0\n",
+                "expected 4",
+            ),
+        ];
+        for (doc, needle) in cases {
+            let err = read_mtx(doc.as_bytes()).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.to_lowercase().contains(&needle.to_lowercase()),
+                "error {msg:?} should mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn complex_field_is_unsupported_not_a_parse_error() {
+        let doc = "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 0.0\n";
+        assert!(matches!(
+            read_mtx(doc.as_bytes()),
+            Err(MtxError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn header_is_case_insensitive() {
+        let doc = "%%MATRIXMARKET MATRIX COORDINATE REAL GENERAL\n1 1 1\n1 1 5.0\n";
+        assert_eq!(read_mtx(doc.as_bytes()).unwrap().entries, vec![(0, 0, 5.0)]);
+    }
+
+    #[test]
+    fn scientific_notation_values_parse() {
+        let doc = "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 -1.5e-10\n";
+        assert_eq!(
+            read_mtx(doc.as_bytes()).unwrap().entries,
+            vec![(0, 0, -1.5e-10)]
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Work descriptions produced by kernels and consumed by the cost model.
+
+/// The work one schedulable chunk of a kernel performs.
+///
+/// Kernels construct one `ChunkWork` per unit of parallel work they actually
+/// created (a warp's rows, a thread's row block, one segment of a merge-based
+/// partition, ...). The distinction between streamed and random bytes is what
+/// lets irregular access patterns (gathers of `x[col[i]]`, atomic scatters)
+/// cost more than contiguous streams.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ChunkWork {
+    /// Bytes moved with unit stride (matrix values, index arrays, output).
+    pub streamed_bytes: f64,
+    /// Bytes accessed irregularly (vector gathers, atomic read-modify-write
+    /// targets); charged with the device's random-access penalty.
+    pub random_bytes: f64,
+    /// Floating point operations performed.
+    pub flops: f64,
+}
+
+impl ChunkWork {
+    /// Creates a work description.
+    pub fn new(streamed_bytes: f64, random_bytes: f64, flops: f64) -> Self {
+        ChunkWork {
+            streamed_bytes,
+            random_bytes,
+            flops,
+        }
+    }
+
+    /// Accumulates another chunk's work into this one (used when a kernel
+    /// fuses logical work items into one scheduled chunk).
+    pub fn absorb(&mut self, other: &ChunkWork) {
+        self.streamed_bytes += other.streamed_bytes;
+        self.random_bytes += other.random_bytes;
+        self.flops += other.flops;
+    }
+
+    /// Total bytes, ignoring the access-pattern distinction.
+    pub fn total_bytes(&self) -> f64 {
+        self.streamed_bytes + self.random_bytes
+    }
+
+    /// Scales all components, e.g. to convert per-element costs to per-chunk.
+    pub fn scaled(&self, factor: f64) -> ChunkWork {
+        ChunkWork {
+            streamed_bytes: self.streamed_bytes * factor,
+            random_bytes: self.random_bytes * factor,
+            flops: self.flops * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_adds_componentwise() {
+        let mut a = ChunkWork::new(1.0, 2.0, 3.0);
+        a.absorb(&ChunkWork::new(10.0, 20.0, 30.0));
+        assert_eq!(a, ChunkWork::new(11.0, 22.0, 33.0));
+    }
+
+    #[test]
+    fn scaled_multiplies_componentwise() {
+        let a = ChunkWork::new(1.0, 2.0, 3.0).scaled(2.0);
+        assert_eq!(a, ChunkWork::new(2.0, 4.0, 6.0));
+        assert_eq!(a.total_bytes(), 6.0);
+    }
+}

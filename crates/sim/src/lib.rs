@@ -1,0 +1,71 @@
+//! Deterministic performance-model simulator for the pyGinkgo reproduction.
+//!
+//! The paper evaluates on hardware this reproduction does not have (NVIDIA
+//! A100, AMD Instinct MI100, a 76-core Xeon 8368 node). Following the
+//! substitution rules in `DESIGN.md`, kernels in this workspace execute
+//! *real numerics* while their *reported execution time* is virtual: each
+//! kernel describes the work it actually scheduled (per-chunk bytes streamed,
+//! bytes gathered randomly, flops) and a [`DeviceSpec`] turns that work
+//! description into nanoseconds using a roofline-style cost model with
+//! greedy-scheduling load balance.
+//!
+//! What emerges from structure (not from curve fitting):
+//!
+//! * load imbalance — computed by greedily scheduling the kernel's *actual*
+//!   chunk costs onto the device's workers,
+//! * occupancy ramps — small matrices cannot fill hundreds of GPU warp slots,
+//! * bandwidth saturation — CPU thread scaling flattens when the socket
+//!   bandwidth cap is reached,
+//! * launch-overhead amortization — fixed per-kernel costs dominate small
+//!   problems and vanish for large ones.
+//!
+//! Only the device rate constants are calibrated; they are documented on the
+//! preset constructors with their public provenance.
+
+#![warn(missing_docs)]
+
+mod cost;
+mod noise;
+pub mod rng;
+mod spec;
+mod timeline;
+
+pub use cost::ChunkWork;
+pub use noise::Noise;
+pub use spec::{DeviceKind, DeviceSpec};
+pub use timeline::{Timeline, TimelineSnapshot};
+
+/// Virtual-time cost, in nanoseconds, charged by the `pyginkgo` facade for
+/// one dynamically-dispatched API call (argument validation, dtype-string
+/// parsing, registry lookup, handle reference counting).
+///
+/// Calibration: the paper (§6.3, Fig. 5c) reports binding overheads of
+/// 1e-7–1e-5 s per SpMV call, i.e. 25-35% of a small matrix's kernel time
+/// (Fig. 5b). A bare pybind11 crossing costs a few hundred ns, but one
+/// pyGinkgo operation performs several (argument conversion, dtype dispatch,
+/// result wrapping, handle refcounting) plus interpreter work around them;
+/// the aggregate charged per facade call is 3 us, which lands Fig. 5b/5c in
+/// the paper's ranges.
+pub const BINDING_CALL_NS: f64 = 3_000.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_call_cost_is_in_papers_range() {
+        assert!((100.0..=10_000.0).contains(&BINDING_CALL_NS));
+    }
+
+    #[test]
+    fn presets_are_distinct_devices() {
+        let a100 = DeviceSpec::a100();
+        let mi100 = DeviceSpec::mi100();
+        let xeon = DeviceSpec::xeon_8368(32);
+        assert_ne!(a100.name, mi100.name);
+        assert!(a100.mem_bw_gbps > mi100.mem_bw_gbps);
+        assert!(a100.mem_bw_gbps > xeon.mem_bw_gbps);
+        assert_eq!(xeon.kind, DeviceKind::Cpu);
+        assert_eq!(a100.kind, DeviceKind::Gpu);
+    }
+}

@@ -1,0 +1,174 @@
+//! Cross-crate assertions on the performance-model *shapes* the paper's
+//! figures show. These are the invariants the benchmark harness relies on;
+//! testing them here keeps the figures honest under refactoring.
+
+use gko::linop::LinOp;
+use gko::matrix::{Csr, Dense};
+use gko::{Dim2, Executor};
+use pygko_baselines::scipy::ScipyCsr;
+use pygko_baselines::scipy_executor;
+use std::sync::Arc;
+
+fn spmv_ns(exec: &Executor, op: &dyn LinOp<f32>, n: usize) -> u64 {
+    let b = Dense::<f32>::vector(exec, n, 1.0);
+    let mut x = Dense::zeros(exec, Dim2::new(n, 1));
+    let t0 = exec.timeline().snapshot();
+    op.apply(&b, &mut x).unwrap();
+    exec.timeline().snapshot().since(&t0).ns
+}
+
+fn poisson_triplets(n: usize) -> Vec<(usize, usize, f32)> {
+    let mut t = vec![];
+    for i in 0..n {
+        t.push((i, i, 4.0f32));
+        if i > 0 {
+            t.push((i, i - 1, -1.0));
+        }
+        if i + 1 < n {
+            t.push((i, i + 1, -1.0));
+        }
+    }
+    t
+}
+
+/// Fig. 3a's premise: on large matrices the GPU beats one CPU core by a
+/// large factor, and the factor grows with nnz.
+#[test]
+fn gpu_speedup_over_scipy_grows_with_nnz() {
+    let mut speedups = Vec::new();
+    for n in [2_000usize, 50_000, 500_000] {
+        let t = poisson_triplets(n);
+
+        let sp_exec = scipy_executor();
+        let sp = ScipyCsr::new(Arc::new(
+            Csr::<f32, i32>::from_triplets(&sp_exec, Dim2::square(n), &t).unwrap(),
+        ));
+        let scipy_ns = spmv_ns(&sp_exec, &sp, n);
+
+        let gpu = Executor::cuda(0);
+        let a = Csr::<f32, i32>::from_triplets(&gpu, Dim2::square(n), &t).unwrap();
+        let gpu_ns = spmv_ns(&gpu, &a, n);
+
+        speedups.push(scipy_ns as f64 / gpu_ns as f64);
+    }
+    assert!(
+        speedups[0] < speedups[1] && speedups[1] < speedups[2],
+        "speedup should grow with nnz: {speedups:?}"
+    );
+    assert!(speedups[2] > 20.0, "large-matrix speedup {:.1} too small", speedups[2]);
+}
+
+/// Fig. 3b's premise: CPU thread scaling is near-linear at first, then
+/// flattens at the socket bandwidth cap.
+#[test]
+fn cpu_thread_scaling_then_saturation() {
+    let n = 400_000usize;
+    let t = poisson_triplets(n);
+    let mut times = Vec::new();
+    for threads in [1usize, 2, 4, 8, 16, 32] {
+        let exec = Executor::omp(threads);
+        let a = Csr::<f32, i32>::from_triplets(&exec, Dim2::square(n), &t).unwrap();
+        times.push((threads, spmv_ns(&exec, &a, n) as f64));
+    }
+    // Monotone improvement.
+    for w in times.windows(2) {
+        assert!(
+            w[1].1 <= w[0].1 * 1.05,
+            "more threads should not be slower: {times:?}"
+        );
+    }
+    // Near-linear from 1 -> 4 threads.
+    let s4 = times[0].1 / times[2].1;
+    assert!(s4 > 2.5, "4-thread speedup {s4:.2} too low");
+    // Saturation: 16 -> 32 gains little (bandwidth cap).
+    let s_16_32 = times[4].1 / times[5].1;
+    assert!(
+        s_16_32 < 1.5,
+        "16->32 threads should saturate, got {s_16_32:.2}"
+    );
+}
+
+/// §6.1.2's observation: on a single thread, SciPy's plain C loop beats the
+/// engine's chunked/parallel-ready kernel (which pays chunking overhead),
+/// while the engine wins decisively as threads scale.
+#[test]
+fn scipy_competitive_at_one_thread_loses_at_32() {
+    let n = 200_000usize;
+    let t = poisson_triplets(n);
+
+    let sp_exec = scipy_executor();
+    let sp = ScipyCsr::new(Arc::new(
+        Csr::<f32, i32>::from_triplets(&sp_exec, Dim2::square(n), &t).unwrap(),
+    ));
+    let scipy_ns = spmv_ns(&sp_exec, &sp, n) as f64;
+
+    let omp1 = Executor::omp(1);
+    let a1 = Csr::<f32, i32>::from_triplets(&omp1, Dim2::square(n), &t).unwrap();
+    let omp1_ns = spmv_ns(&omp1, &a1, n) as f64;
+
+    let omp32 = Executor::omp(32);
+    let a32 = Csr::<f32, i32>::from_triplets(&omp32, Dim2::square(n), &t).unwrap();
+    let omp32_ns = spmv_ns(&omp32, &a32, n) as f64;
+
+    assert!(
+        scipy_ns <= omp1_ns * 1.1,
+        "single-thread scipy {scipy_ns} should be at least competitive with omp(1) {omp1_ns}"
+    );
+    assert!(
+        scipy_ns / omp32_ns > 5.0,
+        "32 threads should beat scipy by a wide margin: {}",
+        scipy_ns / omp32_ns
+    );
+}
+
+/// Fig. 5a's premise: the A100 model outperforms the MI100 model, more so
+/// at large nnz.
+#[test]
+fn a100_beats_mi100_especially_when_large() {
+    let mut ratios = Vec::new();
+    for n in [10_000usize, 1_000_000] {
+        let t = poisson_triplets(n);
+        let cuda = Executor::cuda(0);
+        let a = Csr::<f32, i32>::from_triplets(&cuda, Dim2::square(n), &t).unwrap();
+        let cuda_ns = spmv_ns(&cuda, &a, n) as f64;
+
+        let hip = Executor::hip(0);
+        let ah = Csr::<f32, i32>::from_triplets(&hip, Dim2::square(n), &t).unwrap();
+        let hip_ns = spmv_ns(&hip, &ah, n) as f64;
+        ratios.push(hip_ns / cuda_ns);
+    }
+    assert!(ratios[1] > 1.0, "A100 should win at scale: {ratios:?}");
+}
+
+/// Fig. 4's premise: diagonal mass matrices (A, B) are better on CPU than
+/// GPU; large irregular matrices (D, F) are better on GPU.
+#[test]
+fn small_matrices_prefer_cpu_large_prefer_gpu() {
+    // Tiny diagonal matrix (like bcsstm37): launch overhead dominates GPU.
+    let n_small = 25_000usize;
+    let t_small: Vec<(usize, usize, f32)> = (0..n_small).map(|i| (i, i, 2.0f32)).collect();
+
+    let cpu = Executor::omp(32);
+    let a = Csr::<f32, i32>::from_triplets(&cpu, Dim2::square(n_small), &t_small).unwrap();
+    let cpu_ns = spmv_ns(&cpu, &a, n_small) as f64;
+
+    let gpu = Executor::cuda(0);
+    let ag = Csr::<f32, i32>::from_triplets(&gpu, Dim2::square(n_small), &t_small).unwrap();
+    let gpu_ns = spmv_ns(&gpu, &ag, n_small) as f64;
+    assert!(
+        cpu_ns < gpu_ns * 1.2,
+        "small diagonal matrix: CPU {cpu_ns} should be competitive with GPU {gpu_ns}"
+    );
+
+    // Large matrix: GPU wins big.
+    let n_large = 800_000usize;
+    let t_large = poisson_triplets(n_large);
+    let a = Csr::<f32, i32>::from_triplets(&cpu, Dim2::square(n_large), &t_large).unwrap();
+    let cpu_ns = spmv_ns(&cpu, &a, n_large) as f64;
+    let ag = Csr::<f32, i32>::from_triplets(&gpu, Dim2::square(n_large), &t_large).unwrap();
+    let gpu_ns = spmv_ns(&gpu, &ag, n_large) as f64;
+    assert!(
+        gpu_ns * 2.0 < cpu_ns,
+        "large matrix: GPU {gpu_ns} should clearly beat CPU {cpu_ns}"
+    );
+}

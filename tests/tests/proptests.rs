@@ -1,0 +1,161 @@
+//! Cross-crate property-based tests on randomly generated sparse matrices.
+
+use proptest::prelude::*;
+use pyginkgo as pg;
+
+/// Strategy: a random sparse square matrix as (n, triplets).
+fn sparse_matrix() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (2usize..24).prop_flat_map(|n| {
+        let entry = (0..n, 0..n, -10.0f64..10.0);
+        (Just(n), proptest::collection::vec(entry, 1..60)).prop_map(|(n, mut entries)| {
+            // Deduplicate coordinates (facade sums duplicates; keep the
+            // property statements simple by avoiding them).
+            entries.sort_by_key(|&(r, c, _)| (r, c));
+            entries.dedup_by_key(|&mut (r, c, _)| (r, c));
+            (n, entries)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR <-> COO conversion is lossless through the facade.
+    #[test]
+    fn format_conversion_roundtrip((n, t) in sparse_matrix()) {
+        let dev = pg::device("reference").unwrap();
+        let csr = pg::SparseMatrix::from_triplets(&dev, (n, n), &t, "double", "int32", "Csr").unwrap();
+        let back = csr.convert("Coo").unwrap().convert("Csr").unwrap();
+        prop_assert_eq!(back.nnz(), csr.nnz());
+        prop_assert_eq!(back.to_dense().to_vec(), csr.to_dense().to_vec());
+    }
+
+    /// SpMV is linear: A(alpha x + beta y) == alpha A x + beta A y.
+    #[test]
+    fn spmv_linearity(
+        (n, t) in sparse_matrix(),
+        alpha in -3.0f64..3.0,
+        beta in -3.0f64..3.0,
+        seed in 0u64..1000,
+    ) {
+        let dev = pg::device("reference").unwrap();
+        let a = pg::SparseMatrix::from_triplets(&dev, (n, n), &t, "double", "int32", "Csr").unwrap();
+        let mut rng = pygko_sim::rng::Xoshiro256pp::seed_from_u64(seed);
+        let xv: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let yv: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let x = pg::as_tensor(xv, &dev, (n, 1), "double").unwrap();
+        let y = pg::as_tensor(yv, &dev, (n, 1), "double").unwrap();
+
+        // lhs = A (alpha x + beta y)
+        let mut comb = x.clone();
+        comb.scale(alpha);
+        comb.add_scaled(beta, &y).unwrap();
+        let lhs = a.spmv(&comb).unwrap();
+
+        // rhs = alpha A x + beta A y
+        let mut rhs = a.spmv(&x).unwrap();
+        rhs.scale(alpha);
+        let ay = a.spmv(&y).unwrap();
+        rhs.add_scaled(beta, &ay).unwrap();
+
+        for (l, r) in lhs.to_vec().iter().zip(rhs.to_vec()) {
+            prop_assert!((l - r).abs() <= 1e-9 * (1.0 + r.abs()), "{l} vs {r}");
+        }
+    }
+
+    /// The engine and every baseline compute the same SpMV values.
+    #[test]
+    fn baselines_agree_with_engine((n, t) in sparse_matrix()) {
+        use gko::linop::LinOp;
+        use gko::matrix::{Coo, Csr, Dense};
+        use gko::Dim2;
+        use std::sync::Arc;
+
+        let exec = pygko_baselines::gpu_executor("test");
+        let t64: Vec<(usize, usize, f64)> = t.clone();
+        let dim = Dim2::square(n);
+        let csr = Arc::new(Csr::<f64, i32>::from_triplets(&exec, dim, &t64).unwrap());
+        let coo = Arc::new(Coo::from_csr(&csr));
+        let b = Dense::<f64>::vector(&exec, n, 1.0);
+        let mut want = Dense::zeros(&exec, Dim2::new(n, 1));
+        csr.apply(&b, &mut want).unwrap();
+        let want = want.to_host_vec();
+
+        macro_rules! check {
+            ($op:expr, $name:expr) => {{
+                let mut x = Dense::zeros(&exec, Dim2::new(n, 1));
+                $op.apply(&b, &mut x).unwrap();
+                for (got, w) in x.to_host_vec().iter().zip(&want) {
+                    prop_assert!((got - w).abs() <= 1e-10 * (1.0 + w.abs()),
+                        "{}: {got} vs {w}", $name);
+                }
+            }};
+        }
+        check!(pygko_baselines::scipy::ScipyCsr::new(csr.clone()), "scipy");
+        check!(pygko_baselines::cupy::CupyCsr::new(csr.clone()), "cupy");
+        check!(pygko_baselines::torch::TorchCsr::new(csr.clone()), "torch-csr");
+        check!(pygko_baselines::torch::TorchCoo::new(coo.clone()), "torch-coo");
+        check!(pygko_baselines::tf::TfCoo::new(coo.clone()), "tf");
+    }
+
+    /// Matrix Market write-read is the identity on facade matrices.
+    #[test]
+    fn mtx_roundtrip((n, t) in sparse_matrix()) {
+        let dev = pg::device("reference").unwrap();
+        let m = pg::SparseMatrix::from_triplets(&dev, (n, n), &t, "double", "int32", "Csr").unwrap();
+        let dir = std::env::temp_dir().join("pyginkgo_proptest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("m_{n}_{}.mtx", m.nnz()));
+        pg::write(&m, &path).unwrap();
+        let back = pg::read(&dev, &path, "double", "Csr").unwrap();
+        prop_assert_eq!(back.to_dense().to_vec(), m.to_dense().to_vec());
+        let _ = std::fs::remove_file(path);
+    }
+
+    /// The direct solver really solves: ||b - A x|| is tiny whenever the
+    /// matrix is nonsingular (diagonally dominated construction).
+    #[test]
+    fn direct_solver_solves((n, mut t) in sparse_matrix()) {
+        // Make the matrix safely nonsingular.
+        let mut row_abs = vec![0.0f64; n];
+        for &(r, _, v) in &t {
+            row_abs[r] += v.abs();
+        }
+        t.retain(|&(r, c, _)| r != c);
+        for (i, ra) in row_abs.iter().enumerate() {
+            t.push((i, i, ra + 1.0));
+        }
+        let dev = pg::device("reference").unwrap();
+        let a = pg::SparseMatrix::from_triplets(&dev, (n, n), &t, "double", "int32", "Csr").unwrap();
+        let solver = pg::solver::direct(&dev, &a).unwrap();
+        let b = pg::as_tensor_fill(&dev, (n, 1), "double", 1.0).unwrap();
+        let mut x = pg::as_tensor_fill(&dev, (n, 1), "double", 0.0).unwrap();
+        solver.apply(&b, &mut x).unwrap();
+        let ax = a.spmv(&x).unwrap();
+        let mut r = b.clone();
+        r.add_scaled(-1.0, &ax).unwrap();
+        prop_assert!(r.norm() < 1e-8, "residual {}", r.norm());
+    }
+
+    /// Virtual kernel time is monotone in matrix size for a fixed structure.
+    #[test]
+    fn virtual_time_monotone_in_size(k in 1usize..6) {
+        use gko::matrix::{Csr, Dense};
+        use gko::linop::LinOp;
+        use gko::Dim2;
+        let mut last = 0.0f64;
+        for scale in [1usize, 8] {
+            let n = 1000 * k * scale;
+            let exec = gko::Executor::cuda(0);
+            let t: Vec<(usize, usize, f64)> = (0..n).map(|i| (i, i, 1.0)).collect();
+            let a = Csr::<f64, i32>::from_triplets(&exec, Dim2::square(n), &t).unwrap();
+            let b = Dense::<f64>::vector(&exec, n, 1.0);
+            let mut x = Dense::zeros(&exec, Dim2::new(n, 1));
+            let t0 = exec.timeline().snapshot();
+            a.apply(&b, &mut x).unwrap();
+            let secs = exec.timeline().snapshot().since(&t0).seconds();
+            prop_assert!(secs >= last, "time must grow with size");
+            last = secs;
+        }
+    }
+}

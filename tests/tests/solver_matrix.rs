@@ -1,0 +1,162 @@
+//! The full cross-product smoke matrix: every solver x preconditioner x
+//! device x dtype combination the facade exposes must run and, where the
+//! numerics allow, converge.
+
+use pyginkgo as pg;
+use pyginkgo_integration_tests::{residual, spd_system};
+
+const DEVICES: [&str; 4] = ["reference", "omp", "cuda", "hip"];
+
+#[test]
+fn every_krylov_solver_on_every_device_and_dtype() {
+    for device_name in DEVICES {
+        let dev = pg::device(device_name).unwrap();
+        for dtype in ["float", "double"] {
+            let mtx = spd_system(&dev, 48, dtype, "Csr");
+            let b = pg::as_tensor_fill(&dev, (48, 1), dtype, 1.0).unwrap();
+            for method in ["cg", "cgs", "bicgstab", "gmres"] {
+                let solver = match method {
+                    "cg" => pg::solver::cg(&dev, &mtx, None, 800, 1e-6),
+                    "cgs" => pg::solver::cgs(&dev, &mtx, None, 800, 1e-6),
+                    "bicgstab" => pg::solver::bicgstab(&dev, &mtx, None, 800, 1e-6),
+                    _ => pg::solver::gmres(&dev, &mtx, None, 800, 30, 1e-6),
+                }
+                .unwrap();
+                let mut x = pg::as_tensor_fill(&dev, (48, 1), dtype, 0.0).unwrap();
+                let log = solver.apply(&b, &mut x).unwrap();
+                assert!(
+                    log.converged(),
+                    "{method} on {device_name}/{dtype}: {}",
+                    log.stop_reason()
+                );
+                let rel = residual(&mtx, &b, &x) / log.initial_residual();
+                assert!(
+                    rel < 1e-4,
+                    "{method} on {device_name}/{dtype}: relative residual {rel}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_preconditioner_with_every_solver() {
+    let dev = pg::device("cuda").unwrap();
+    let mtx = spd_system(&dev, 64, "double", "Csr");
+    let b = pg::as_tensor_fill(&dev, (64, 1), "double", 1.0).unwrap();
+    for pname in ["jacobi", "block_jacobi", "ilu", "ic"] {
+        let pre = match pname {
+            "jacobi" => pg::preconditioner::jacobi(&dev, &mtx),
+            "block_jacobi" => pg::preconditioner::jacobi_with_block_size(&dev, &mtx, 4),
+            "ilu" => pg::preconditioner::ilu(&dev, &mtx),
+            _ => pg::preconditioner::ic(&dev, &mtx),
+        }
+        .unwrap();
+        for method in ["cg", "cgs", "bicgstab", "gmres"] {
+            let solver = match method {
+                "cg" => pg::solver::cg(&dev, &mtx, Some(pre.clone()), 500, 1e-8),
+                "cgs" => pg::solver::cgs(&dev, &mtx, Some(pre.clone()), 500, 1e-8),
+                "bicgstab" => pg::solver::bicgstab(&dev, &mtx, Some(pre.clone()), 500, 1e-8),
+                _ => pg::solver::gmres(&dev, &mtx, Some(pre.clone()), 500, 30, 1e-8),
+            }
+            .unwrap();
+            let mut x = pg::as_tensor_fill(&dev, (64, 1), "double", 0.0).unwrap();
+            let log = solver.apply(&b, &mut x).unwrap();
+            assert!(log.converged(), "{method}+{pname}: {}", log.stop_reason());
+        }
+    }
+}
+
+#[test]
+fn half_precision_solvers_make_progress_on_all_devices() {
+    // half cannot reach 1e-6, but it must reduce the residual.
+    for device_name in DEVICES {
+        let dev = pg::device(device_name).unwrap();
+        let mtx = spd_system(&dev, 24, "half", "Csr");
+        let b = pg::as_tensor_fill(&dev, (24, 1), "half", 1.0).unwrap();
+        let solver = pg::solver::cg(&dev, &mtx, None, 100, 1e-2).unwrap();
+        let mut x = pg::as_tensor_fill(&dev, (24, 1), "half", 0.0).unwrap();
+        let log = solver.apply(&b, &mut x).unwrap();
+        assert!(
+            log.final_residual() < 0.1 * log.initial_residual(),
+            "{device_name}: half precision made no progress ({} -> {})",
+            log.initial_residual(),
+            log.final_residual()
+        );
+    }
+}
+
+#[test]
+fn ilu_preconditioned_gmres_beats_plain_gmres_everywhere() {
+    for device_name in DEVICES {
+        let dev = pg::device(device_name).unwrap();
+        let n = 100;
+        // Harder unsymmetric system.
+        let mut t = vec![];
+        for i in 0..n {
+            t.push((i, i, 4.0));
+            if i > 0 {
+                t.push((i, i - 1, -1.9));
+            }
+            if i + 1 < n {
+                t.push((i, i + 1, -0.8));
+            }
+            if i + 11 < n {
+                t.push((i, i + 11, 0.5));
+            }
+        }
+        let mtx =
+            pg::SparseMatrix::from_triplets(&dev, (n, n), &t, "double", "int32", "Csr").unwrap();
+        let b = pg::as_tensor_fill(&dev, (n, 1), "double", 1.0).unwrap();
+
+        let plain = pg::solver::gmres(&dev, &mtx, None, 2000, 30, 1e-8).unwrap();
+        let mut x1 = pg::as_tensor_fill(&dev, (n, 1), "double", 0.0).unwrap();
+        let log_plain = plain.apply(&b, &mut x1).unwrap();
+
+        let pre = pg::preconditioner::ilu(&dev, &mtx).unwrap();
+        let prec = pg::solver::gmres(&dev, &mtx, Some(pre), 2000, 30, 1e-8).unwrap();
+        let mut x2 = pg::as_tensor_fill(&dev, (n, 1), "double", 0.0).unwrap();
+        let log_prec = prec.apply(&b, &mut x2).unwrap();
+
+        assert!(log_prec.converged());
+        assert!(
+            log_prec.iterations() < log_plain.iterations(),
+            "{device_name}: ILU {} vs plain {}",
+            log_prec.iterations(),
+            log_plain.iterations()
+        );
+    }
+}
+
+#[test]
+fn coo_and_csr_systems_give_identical_solutions() {
+    let dev = pg::device("reference").unwrap();
+    let csr = spd_system(&dev, 40, "double", "Csr");
+    let coo = spd_system(&dev, 40, "double", "Coo");
+    let b = pg::as_tensor_fill(&dev, (40, 1), "double", 1.0).unwrap();
+
+    let mut x1 = pg::as_tensor_fill(&dev, (40, 1), "double", 0.0).unwrap();
+    pg::solver::cg(&dev, &csr, None, 500, 1e-10)
+        .unwrap()
+        .apply(&b, &mut x1)
+        .unwrap();
+    let mut x2 = pg::as_tensor_fill(&dev, (40, 1), "double", 0.0).unwrap();
+    pg::solver::cg(&dev, &coo, None, 500, 1e-10)
+        .unwrap()
+        .apply(&b, &mut x2)
+        .unwrap();
+    for (a, b) in x1.to_vec().iter().zip(x2.to_vec()) {
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn direct_and_triangular_solvers_work_on_device() {
+    let dev = pg::device("hip").unwrap();
+    let mtx = spd_system(&dev, 20, "double", "Csr");
+    let b = pg::as_tensor_fill(&dev, (20, 1), "double", 1.0).unwrap();
+    let solver = pg::solver::direct(&dev, &mtx).unwrap();
+    let mut x = pg::as_tensor_fill(&dev, (20, 1), "double", 0.0).unwrap();
+    solver.apply(&b, &mut x).unwrap();
+    assert!(residual(&mtx, &b, &x) < 1e-10);
+}
