@@ -1,0 +1,84 @@
+//! Wall-clock microbenchmarks of the facade's dynamic layer — the
+//! real-host-time counterpart of the §6.3 virtual-time overhead study.
+//! Plain-binary successor of the former criterion bench.
+//!
+//! `cargo run --release -p pygko-bench --bin micro_facade`
+
+use gko::linop::LinOp;
+use gko::matrix::{Csr, Dense};
+use gko::{Dim2, Executor};
+use pygko_bench::{fmt, micro_iters, wall_secs, Report};
+use pyginkgo as pg;
+
+fn bench_binding_overhead(report: &mut Report) {
+    let n = 1000usize;
+    let t: Vec<(usize, usize, f64)> = (0..n).map(|i| (i, i, 2.0)).collect();
+
+    // Engine direct.
+    let exec = Executor::reference();
+    let a = Csr::<f64, i32>::from_triplets(&exec, Dim2::square(n), &t).unwrap();
+    let b = Dense::<f64>::vector(&exec, n, 1.0);
+    let mut x = Dense::zeros(&exec, Dim2::new(n, 1));
+
+    // Facade.
+    let dev = pg::device("reference").unwrap();
+    let m = pg::SparseMatrix::from_triplets(&dev, (n, n), &t, "double", "int32", "Csr").unwrap();
+    let bt = pg::as_tensor_fill(&dev, (n, 1), "double", 1.0).unwrap();
+    let mut xt = pg::as_tensor_fill(&dev, (n, 1), "double", 0.0).unwrap();
+
+    let iters = micro_iters(2000);
+    let secs = wall_secs(iters, || a.apply(&b, &mut x).unwrap());
+    report.row(vec![
+        "binding_overhead_diag1000".into(),
+        "engine_spmv".into(),
+        fmt(secs * 1e6),
+    ]);
+    let secs = wall_secs(iters, || m.spmv_into(&bt, &mut xt).unwrap());
+    report.row(vec![
+        "binding_overhead_diag1000".into(),
+        "facade_spmv".into(),
+        fmt(secs * 1e6),
+    ]);
+}
+
+fn bench_dispatch_layers(report: &mut Report) {
+    let dev = pg::device("reference").unwrap();
+    let iters = micro_iters(5000);
+    let secs = wall_secs(iters, || {
+        "float64".parse::<pg::DType>().unwrap();
+    });
+    report.row(vec![
+        "facade_calls".into(),
+        "dtype_parse".into(),
+        fmt(secs * 1e6),
+    ]);
+    let secs = wall_secs(iters, || {
+        pg::as_tensor_fill(&dev, (16, 1), "double", 1.0).unwrap();
+    });
+    report.row(vec![
+        "facade_calls".into(),
+        "tensor_construct_16".into(),
+        fmt(secs * 1e6),
+    ]);
+    let t16 = pg::as_tensor_fill(&dev, (16, 1), "double", 1.0).unwrap();
+    let secs = wall_secs(iters, || {
+        t16.dot(&t16).unwrap();
+    });
+    report.row(vec![
+        "facade_calls".into(),
+        "tensor_dot_16".into(),
+        fmt(secs * 1e6),
+    ]);
+}
+
+fn main() {
+    let mut report = Report::new(
+        "Facade wall-clock microbenchmarks",
+        &["group", "case", "us/op"],
+    );
+    bench_binding_overhead(&mut report);
+    bench_dispatch_layers(&mut report);
+    report.print();
+    let path = report.write_csv("micro_facade").expect("write csv");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,113 @@
+//! Wall-clock microbenchmarks of the solver iterations (real host
+//! execution of the real numerics). Plain-binary successor of the former
+//! criterion bench.
+//!
+//! `cargo run --release -p pygko-bench --bin micro_solvers`
+
+use gko::linop::LinOp;
+use gko::matrix::{Csr, Dense};
+use gko::preconditioner::{Ilu, Jacobi};
+use gko::solver::{BiCgStab, Cg, Cgs, Gmres};
+use gko::stop::Criteria;
+use gko::{Dim2, Executor};
+use pygko_bench::{fmt, micro_iters, wall_secs, Report};
+use pygko_matgen::generators::poisson2d;
+use std::sync::Arc;
+
+fn setup() -> (Executor, Arc<Csr<f64, i32>>, Dense<f64>) {
+    let exec = Executor::reference();
+    let gen = poisson2d("p", 60, 60);
+    let a = Arc::new(
+        Csr::<f64, i32>::from_triplets(&exec, Dim2::new(gen.rows, gen.cols), &gen.triplets)
+            .unwrap(),
+    );
+    let b = Dense::<f64>::vector(&exec, gen.rows, 1.0);
+    (exec, a, b)
+}
+
+fn bench_krylov_iterations(report: &mut Report) {
+    let (exec, a, b) = setup();
+    let n = a.size().rows;
+    let criteria = Criteria::iterations(20);
+    let iters = micro_iters(10);
+
+    let solvers: Vec<(&str, Box<dyn LinOp<f64>>)> = vec![
+        (
+            "cg",
+            Box::new(
+                Cg::new(a.clone() as Arc<dyn LinOp<f64>>)
+                    .unwrap()
+                    .with_criteria(criteria),
+            ),
+        ),
+        (
+            "cgs",
+            Box::new(
+                Cgs::new(a.clone() as Arc<dyn LinOp<f64>>)
+                    .unwrap()
+                    .with_criteria(criteria),
+            ),
+        ),
+        (
+            "bicgstab",
+            Box::new(
+                BiCgStab::new(a.clone() as Arc<dyn LinOp<f64>>)
+                    .unwrap()
+                    .with_criteria(criteria),
+            ),
+        ),
+        (
+            "gmres30",
+            Box::new(
+                Gmres::new(a.clone() as Arc<dyn LinOp<f64>>)
+                    .unwrap()
+                    .with_krylov_dim(30)
+                    .with_criteria(criteria),
+            ),
+        ),
+    ];
+    for (name, solver) in &solvers {
+        let secs = wall_secs(iters, || {
+            let mut x = Dense::<f64>::zeros(&exec, Dim2::new(n, 1));
+            solver.apply(&b, &mut x).unwrap();
+        });
+        report.row(vec![
+            "krylov_20_iterations_poisson2d_60".into(),
+            (*name).into(),
+            fmt(secs * 1e3),
+        ]);
+    }
+}
+
+fn bench_preconditioner_generation(report: &mut Report) {
+    let (_, a, _) = setup();
+    let iters = micro_iters(10);
+    let secs = wall_secs(iters, || {
+        Jacobi::new(&*a).unwrap();
+    });
+    report.row(vec![
+        "preconditioner_generation_poisson2d_60".into(),
+        "jacobi".into(),
+        fmt(secs * 1e3),
+    ]);
+    let secs = wall_secs(iters, || {
+        Ilu::new(&*a).unwrap();
+    });
+    report.row(vec![
+        "preconditioner_generation_poisson2d_60".into(),
+        "ilu0".into(),
+        fmt(secs * 1e3),
+    ]);
+}
+
+fn main() {
+    let mut report = Report::new(
+        "Solver wall-clock microbenchmarks",
+        &["group", "case", "ms/op"],
+    );
+    bench_krylov_iterations(&mut report);
+    bench_preconditioner_generation(&mut report);
+    report.print();
+    let path = report.write_csv("micro_solvers").expect("write csv");
+    println!("\nwrote {}", path.display());
+}

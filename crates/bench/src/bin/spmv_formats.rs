@@ -1,0 +1,188 @@
+//! Format × executor SpMV sweep with pool telemetry.
+//!
+//! Runs every sparse format on the reference executor and on OpenMP-model
+//! executors with 1/2/4/8/16 threads, on a large (~1.8M-nnz) Poisson
+//! matrix, and writes `results/BENCH_spmv.json` with deterministic
+//! virtual-time GFLOP/s, the speedup over the reference executor, and the
+//! worker-pool counters (dispatches, chunks, steals, mean wall-clock
+//! nanoseconds per kernel dispatch).
+//!
+//! `cargo run --release -p pygko-bench --bin spmv_formats`
+
+use gko::linop::LinOp;
+use gko::matrix::{Coo, Csr, Dense, Ell, Hybrid, Sellp, SpmvStrategy};
+use gko::{Dim2, Executor};
+use pygko_bench::{fmt, gflops, quick_mode, results_dir, Report};
+use pygko_matgen::generators::poisson2d;
+use std::fmt::Write as _;
+
+struct Record {
+    format: &'static str,
+    strategy: &'static str,
+    executor: String,
+    threads: usize,
+    seconds: f64,
+    gflops: f64,
+    speedup: f64,
+    dispatches: u64,
+    chunks: u64,
+    steals: u64,
+    dispatch_overhead_ns: f64,
+}
+
+/// One timed apply of `op` on `exec`; returns virtual seconds plus the pool
+/// counters this kernel added.
+fn run_once<V: gko::Value>(
+    exec: &Executor,
+    op: &dyn LinOp<V>,
+    b: &Dense<V>,
+    x: &mut Dense<V>,
+) -> (f64, gko::PoolStats) {
+    // Warm up so lazy pool spawning is not charged to the measured kernel.
+    op.apply(b, x).expect("spmv");
+    let s0 = exec.pool_stats();
+    let t0 = exec.timeline().snapshot();
+    op.apply(b, x).expect("spmv");
+    exec.synchronize();
+    let secs = exec.timeline().snapshot().since(&t0).seconds();
+    (secs, exec.pool_stats().since(&s0))
+}
+
+fn main() {
+    let grid = if quick_mode() { 120 } else { 600 };
+    let gen = poisson2d("poisson2d", grid, grid);
+    let nnz = gen.nnz();
+    let dim = Dim2::new(gen.rows, gen.cols);
+    println!("matrix: poisson2d_{grid} ({} rows, {nnz} nnz)", gen.rows);
+
+    let executors: Vec<(String, usize, Executor)> = std::iter::once((
+        "reference".to_string(),
+        1usize,
+        Executor::reference(),
+    ))
+    .chain(
+        [1usize, 2, 4, 8, 16]
+            .into_iter()
+            .map(|t| (format!("omp{t}"), t, Executor::omp(t))),
+    )
+    .collect();
+
+    let mut records: Vec<Record> = Vec::new();
+    for (name, threads, exec) in &executors {
+        let csr = Csr::<f64, i32>::from_triplets(exec, dim, &gen.triplets).unwrap();
+        let b = Dense::<f64>::vector(exec, gen.cols, 1.0);
+        let mut x = Dense::zeros(exec, Dim2::new(gen.rows, 1));
+
+        let mut push = |format: &'static str, strategy: &'static str, op: &dyn LinOp<f64>,
+                        x: &mut Dense<f64>| {
+            let (secs, stats) = run_once(exec, op, &b, x);
+            records.push(Record {
+                format,
+                strategy,
+                executor: name.clone(),
+                threads: *threads,
+                seconds: secs,
+                gflops: gflops(nnz, secs),
+                speedup: 0.0, // filled below, once the reference row exists
+                dispatches: stats.dispatches,
+                chunks: stats.chunks,
+                steals: stats.steals,
+                dispatch_overhead_ns: if stats.dispatches == 0 {
+                    0.0
+                } else {
+                    stats.dispatch_ns as f64 / stats.dispatches as f64
+                },
+            });
+        };
+
+        push("csr", "classical", &csr, &mut x);
+        let lb = csr.clone().with_strategy(SpmvStrategy::LoadBalance);
+        push("csr", "load_balance", &lb, &mut x);
+        push("coo", "segmented", &Coo::from_csr(&csr), &mut x);
+        push("ell", "row_parallel", &Ell::from_csr(&csr), &mut x);
+        push("sellp", "slice_parallel", &Sellp::from_csr(&csr), &mut x);
+        push("hybrid", "ell+coo", &Hybrid::from_csr(&csr), &mut x);
+    }
+
+    // Speedup of each row over the same format/strategy on reference.
+    let reference: Vec<(String, f64)> = records
+        .iter()
+        .filter(|r| r.executor == "reference")
+        .map(|r| (format!("{}/{}", r.format, r.strategy), r.seconds))
+        .collect();
+    for r in records.iter_mut() {
+        let key = format!("{}/{}", r.format, r.strategy);
+        if let Some((_, ref_secs)) = reference.iter().find(|(k, _)| *k == key) {
+            r.speedup = ref_secs / r.seconds;
+        }
+    }
+
+    let mut report = Report::new(
+        &format!("SpMV formats on poisson2d_{grid} (virtual time)"),
+        &[
+            "format", "strategy", "executor", "threads", "GFLOP/s", "speedup",
+            "dispatches", "chunks", "steals", "ns/dispatch",
+        ],
+    );
+    for r in &records {
+        report.row(vec![
+            r.format.into(),
+            r.strategy.into(),
+            r.executor.clone(),
+            r.threads.to_string(),
+            fmt(r.gflops),
+            fmt(r.speedup),
+            r.dispatches.to_string(),
+            r.chunks.to_string(),
+            r.steals.to_string(),
+            fmt(r.dispatch_overhead_ns),
+        ]);
+    }
+    report.print();
+
+    // Hand-rolled JSON (the workspace carries no serialization dependency).
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "  {{\"matrix\": \"poisson2d_{grid}\", \"nnz\": {nnz}, \
+             \"format\": \"{}\", \"strategy\": \"{}\", \"executor\": \"{}\", \
+             \"threads\": {}, \"virtual_seconds\": {:e}, \"gflops\": {:.6}, \
+             \"speedup_vs_reference\": {:.6}, \"pool_dispatches\": {}, \
+             \"pool_chunks\": {}, \"pool_steals\": {}, \
+             \"dispatch_overhead_ns\": {:.1}}}{}",
+            r.format,
+            r.strategy,
+            r.executor,
+            r.threads,
+            r.seconds,
+            r.gflops,
+            r.speedup,
+            r.dispatches,
+            r.chunks,
+            r.steals,
+            r.dispatch_overhead_ns,
+            if i + 1 == records.len() { "" } else { "," }
+        );
+    }
+    json.push_str("]\n");
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_spmv.json");
+    std::fs::write(&path, json).expect("write json");
+    println!("\nwrote {}", path.display());
+
+    // Headline check: parallel CSR and COO beat the serial reference by 2x.
+    for format in ["csr", "coo"] {
+        let best = records
+            .iter()
+            .filter(|r| r.format == format && r.executor != "reference")
+            .map(|r| r.speedup)
+            .fold(0.0f64, f64::max);
+        println!("best {format} omp speedup vs reference: {best:.2}x");
+        assert!(
+            best >= 2.0,
+            "{format} omp should be at least 2x the reference executor"
+        );
+    }
+}

@@ -74,6 +74,29 @@ pub fn gflops(nnz: usize, seconds: f64) -> f64 {
     2.0 * nnz as f64 / seconds / 1e9
 }
 
+/// Mean wall-clock seconds per call of `f` over `iters` calls, after one
+/// warm-up call. Used by the `micro_*` binaries, which measure real host
+/// time of the real kernels (unlike the figure harnesses, which report
+/// deterministic virtual time).
+pub fn wall_secs(iters: usize, mut f: impl FnMut()) -> f64 {
+    assert!(iters > 0, "need at least one timed iteration");
+    f();
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Iteration count for the wall-clock micro benches (reduced in quick mode).
+pub fn micro_iters(full: usize) -> usize {
+    if quick_mode() {
+        (full / 10).max(1)
+    } else {
+        full
+    }
+}
+
 /// An output table streamed to stdout and a CSV file.
 pub struct Report {
     title: String,

@@ -9,7 +9,7 @@
 //! remove it and the facade times match the engine exactly.
 
 use crate::device::Device;
-use parking_lot::ReentrantMutex;
+use crate::reentrant::ReentrantMutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The global interpreter lock analog.
@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Reentrant, like the real GIL: a thread already inside the interpreter
 /// may re-enter the binding layer (facade functions compose facade
 /// functions, e.g. preconditioner generation converting COO to CSR).
-static GIL: ReentrantMutex<()> = ReentrantMutex::new(());
+static GIL: ReentrantMutex = ReentrantMutex::new();
 
 /// Count of facade calls made (diagnostics / tests).
 static CALLS: AtomicU64 = AtomicU64::new(0);

@@ -57,6 +57,7 @@ pub mod logger;
 pub mod matrix;
 pub mod preconditioner;
 pub mod read;
+pub mod reentrant;
 pub mod solver;
 pub mod tensor;
 

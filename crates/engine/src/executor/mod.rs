@@ -16,9 +16,17 @@
 
 pub mod pool;
 
+use pool::{PoolStats, WorkerPool};
 use pygko_sim::{ChunkWork, DeviceKind, DeviceSpec, Timeline};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Upper bound on OS threads an executor will drive, regardless of how many
+/// workers the device model has. GPU specs model hundreds of schedulable
+/// workers; running that many host threads would only add context-switch
+/// overhead without changing results (chunking is spec-derived, not
+/// thread-derived).
+const MAX_FUNCTIONAL_THREADS: usize = 32;
 
 /// Which hardware backend an executor drives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -53,6 +61,9 @@ struct Inner {
     timeline: Timeline,
     bytes_allocated: AtomicI64,
     peak_bytes: AtomicU64,
+    /// Lazily-spawned persistent worker pool; `None` once initialized means
+    /// the executor is functionally single-threaded.
+    pool: OnceLock<Option<WorkerPool>>,
 }
 
 /// A cheaply-cloneable handle to an execution resource.
@@ -73,6 +84,7 @@ impl Executor {
             timeline: Timeline::new(),
             bytes_allocated: AtomicI64::new(0),
             peak_bytes: AtomicU64::new(0),
+            pool: OnceLock::new(),
         }))
     }
 
@@ -153,16 +165,52 @@ impl Executor {
     /// Number of worker threads used for *functional* execution of chunked
     /// kernels (modeled parallelism is `spec().workers` and can be much
     /// larger).
+    ///
+    /// For `omp` executors this follows the *requested* thread count (capped
+    /// at [`MAX_FUNCTIONAL_THREADS`]) rather than the physical core count:
+    /// the persistent pool makes extra threads cheap (they park between
+    /// kernels and the OS timeslices during them), and it means
+    /// `Executor::omp(n)` exercises genuinely concurrent n-lane execution on
+    /// any host — which is what the cross-thread-count parity tests rely on.
     pub fn functional_threads(&self) -> usize {
         match self.0.backend {
             Backend::Reference => 1,
-            // Physical parallelism is capped; virtual time comes from the
-            // model, so more OS threads than cores would only add overhead.
-            Backend::Omp | Backend::Cuda | Backend::Hip => std::thread::available_parallelism()
+            Backend::Omp => self.0.spec.workers.clamp(1, MAX_FUNCTIONAL_THREADS),
+            // GPU backends model hundreds of workers; functionally we use
+            // the host cores that exist. Results don't depend on this —
+            // chunking derives from the spec, never the thread count.
+            Backend::Cuda | Backend::Hip => std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
-                .min(self.0.spec.workers),
+                .min(self.0.spec.workers)
+                .min(MAX_FUNCTIONAL_THREADS),
         }
+    }
+
+    /// The executor's persistent worker pool, spawned on first use; `None`
+    /// when the executor is functionally single-threaded (reference, or a
+    /// one-worker spec), in which case chunked kernels run inline.
+    pub fn worker_pool(&self) -> Option<&WorkerPool> {
+        self.0
+            .pool
+            .get_or_init(|| {
+                let threads = self.functional_threads();
+                (threads > 1).then(|| WorkerPool::new(threads))
+            })
+            .as_ref()
+    }
+
+    /// Activity counters of the worker pool (all zeros when the executor has
+    /// no pool or never dispatched).
+    pub fn pool_stats(&self) -> PoolStats {
+        // Read without forcing pool creation: an executor that never ran a
+        // parallel kernel reports zeros.
+        self.0
+            .pool
+            .get()
+            .and_then(|p| p.as_ref())
+            .map(|p| p.stats())
+            .unwrap_or_default()
     }
 
     /// Charges one kernel launch that performed the given chunks of work.
@@ -291,6 +339,25 @@ mod tests {
     fn omp_thread_count_flows_into_spec() {
         let e = Executor::omp(16);
         assert_eq!(e.spec().workers, 16);
-        assert!(e.functional_threads() >= 1);
+        assert_eq!(e.functional_threads(), 16);
+        assert!(Executor::omp(1000).functional_threads() <= MAX_FUNCTIONAL_THREADS);
+    }
+
+    #[test]
+    fn reference_has_no_pool_and_zero_stats() {
+        let e = Executor::reference();
+        assert_eq!(e.pool_stats(), pool::PoolStats::default());
+        assert!(e.worker_pool().is_none());
+        assert_eq!(e.functional_threads(), 1);
+    }
+
+    #[test]
+    fn pool_is_lazy_and_shared_across_clones() {
+        let e = Executor::omp(3);
+        assert_eq!(e.pool_stats().dispatches, 0, "no pool before first use");
+        let p1 = e.worker_pool().unwrap() as *const _;
+        let p2 = e.clone().worker_pool().unwrap() as *const _;
+        assert_eq!(p1, p2, "clones share one pool");
+        assert_eq!(e.worker_pool().unwrap().threads(), 3);
     }
 }

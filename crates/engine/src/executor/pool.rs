@@ -1,28 +1,396 @@
-//! Minimal structured data-parallel helpers.
+//! Persistent worker pool and structured data-parallel helpers.
 //!
-//! Row-partitioned kernels execute their chunks through [`parallel_chunks`],
-//! which splits the output into disjoint mutable sub-slices and distributes
-//! them over scoped worker threads pulling from a shared queue. Safety comes
-//! entirely from `split_at_mut` — no `unsafe`, no data races by construction.
+//! Every parallel kernel in the engine dispatches through the executor-owned
+//! [`WorkerPool`]: a set of long-lived OS threads that park on a condition
+//! variable between kernels and wake when a job is published. This replaces
+//! the previous scheme of spawning fresh scoped threads inside every
+//! `parallel_chunks` call — a CG solve running 1000 iterations used to pay
+//! thread-spawn latency ~3000 times; it now pays it once per executor.
 //!
-//! On hosts with a single core (like the machine this reproduction was built
-//! on) the scheduler timeslices the workers; the *modeled* execution time is
-//! computed from the work partition by `pygko-sim`, so correctness of the
-//! timing does not depend on physical parallelism.
+//! Scheduling is load balanced in two layers:
+//!
+//! * kernels choose *chunk boundaries* from the work distribution (e.g. CSR's
+//!   nnz-balanced row blocks), and
+//! * the pool distributes chunk indices over per-worker queues; a worker that
+//!   drains its own queue **steals** chunk indices from its neighbours, so a
+//!   mis-predicted chunk cost cannot idle the other workers.
+//!
+//! Chunk partitions are derived from the executor's [`DeviceSpec`] (never
+//! from the physical core count), so functional results are bitwise
+//! reproducible across hosts; on machines with fewer cores than workers the
+//! OS timeslices. The *modeled* execution time likewise comes from the
+//! `pygko-sim` cost model (which charges `chunk_overhead_ns` per scheduled
+//! chunk), while the pool separately measures the *real* host-side dispatch
+//! overhead in [`PoolStats`] for the overhead benchmarks.
+//!
+//! [`DeviceSpec`]: pygko_sim::DeviceSpec
 
-use std::sync::Mutex;
+use crate::executor::Executor;
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Counters describing everything a [`WorkerPool`] has done since creation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs submitted (one per parallel kernel execution).
+    pub dispatches: u64,
+    /// Chunk closures executed across all jobs.
+    pub chunks: u64,
+    /// Chunks executed by a thread other than the queue's home worker.
+    pub steals: u64,
+    /// Times a worker went to sleep waiting for work.
+    pub parks: u64,
+    /// Times a sleeping worker was woken for a job.
+    pub unparks: u64,
+    /// Cumulative wall-clock nanoseconds spent inside [`WorkerPool::run`]
+    /// (dispatch overhead plus chunk execution).
+    pub dispatch_ns: u64,
+}
+
+impl PoolStats {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            dispatches: self.dispatches.saturating_sub(earlier.dispatches),
+            chunks: self.chunks.saturating_sub(earlier.chunks),
+            steals: self.steals.saturating_sub(earlier.steals),
+            parks: self.parks.saturating_sub(earlier.parks),
+            unparks: self.unparks.saturating_sub(earlier.unparks),
+            dispatch_ns: self.dispatch_ns.saturating_sub(earlier.dispatch_ns),
+        }
+    }
+}
+
+/// Lifetime-erased pointer to the job closure. Validity is guaranteed by
+/// [`WorkerPool::run`], which blocks until every worker is done with it.
+type TaskPtr = *const (dyn Fn(usize) + Sync);
+
+/// One worker's range of chunk indices. `next` is bumped with `fetch_add` by
+/// the owner *and* by thieves; an index is executed iff the fetched value is
+/// still below `end`, so every index in `[start, end)` runs exactly once.
+struct ChunkQueue {
+    next: AtomicUsize,
+    end: usize,
+}
+
+/// The job currently published to the workers.
+struct Job {
+    task: TaskPtr,
+    queues: Vec<ChunkQueue>,
+}
+
+/// Worker-visible pool state.
+struct Shared {
+    control: Mutex<Epoch>,
+    work_ready: Condvar,
+    work_done: Condvar,
+    /// Written by the submitter strictly before the epoch bump, read by
+    /// workers strictly after observing it (both under `control`), cleared
+    /// only after `active` hits zero.
+    job: UnsafeCell<Option<Job>>,
+    /// Workers still executing the current job.
+    active: AtomicUsize,
+    shutdown: AtomicBool,
+    /// First panic payload raised inside a chunk closure, re-raised on the
+    /// submitting thread.
+    panic_slot: Mutex<Option<Box<dyn Any + Send>>>,
+    dispatches: AtomicU64,
+    chunks: AtomicU64,
+    steals: AtomicU64,
+    parks: AtomicU64,
+    unparks: AtomicU64,
+    dispatch_ns: AtomicU64,
+}
+
+struct Epoch(u64);
+
+// SAFETY: `job` is only mutated by the submitting thread while no worker is
+// active (enforced by the `active` counter + `submit` lock), and the epoch
+// handshake through `control` orders those accesses.
+unsafe impl Send for Shared {}
+unsafe impl Sync for Shared {}
+
+thread_local! {
+    /// True while the current thread is executing chunks for some pool, used
+    /// to run nested dispatches inline instead of deadlocking on `submit`.
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A persistent, work-stealing pool of `threads` execution lanes.
+///
+/// `threads - 1` OS threads are spawned lazily at construction and parked
+/// between jobs; the thread calling [`WorkerPool::run`] acts as the final
+/// lane, so a pool for `n` functional threads occupies exactly `n` cores
+/// while a kernel runs and zero while idle.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    threads: usize,
+    submit: Mutex<()>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` lanes (`threads - 1` parked OS workers).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            control: Mutex::new(Epoch(0)),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+            job: UnsafeCell::new(None),
+            active: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            panic_slot: Mutex::new(None),
+            dispatches: AtomicU64::new(0),
+            chunks: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            unparks: AtomicU64::new(0),
+            dispatch_ns: AtomicU64::new(0),
+        });
+        let handles = (0..threads - 1)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gko-pool-{id}"))
+                    .spawn(move || worker_loop(shared, id))
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            threads,
+            submit: Mutex::new(()),
+            handles,
+        }
+    }
+
+    /// Number of execution lanes (including the submitting thread's).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Snapshot of the activity counters.
+    pub fn stats(&self) -> PoolStats {
+        let s = &self.shared;
+        PoolStats {
+            dispatches: s.dispatches.load(Ordering::Relaxed),
+            chunks: s.chunks.load(Ordering::Relaxed),
+            steals: s.steals.load(Ordering::Relaxed),
+            parks: s.parks.load(Ordering::Relaxed),
+            unparks: s.unparks.load(Ordering::Relaxed),
+            dispatch_ns: s.dispatch_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Executes `task(i)` for every `i in 0..n_chunks`, distributing indices
+    /// over the pool's lanes with work stealing. Blocks until all chunks
+    /// completed; panics from chunk closures are forwarded.
+    pub fn run(&self, n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
+        if n_chunks == 0 {
+            return;
+        }
+        // A chunk closure that itself dispatches (nested parallelism) would
+        // deadlock waiting on its own pool; run such jobs inline instead.
+        if IN_POOL_WORKER.with(|w| w.get()) {
+            for i in 0..n_chunks {
+                task(i);
+            }
+            return;
+        }
+        let start = Instant::now();
+        let _submission = self.submit.lock().unwrap_or_else(|e| e.into_inner());
+        let lanes = self.threads;
+        let queues: Vec<ChunkQueue> = (0..lanes)
+            .map(|w| ChunkQueue {
+                next: AtomicUsize::new(w * n_chunks / lanes),
+                end: (w + 1) * n_chunks / lanes,
+            })
+            .collect();
+        let workers = self.handles.len();
+        // SAFETY (transmute): erases the borrow's lifetime into the
+        // `'static`-defaulted raw trait-object pointer; `run` blocks until
+        // every lane finished and clears the slot before returning, so the
+        // pointer never outlives the borrow.
+        let task: TaskPtr =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), TaskPtr>(task) };
+        // SAFETY: no worker is active (previous run drained them and this
+        // thread holds `submit`), so the slot is exclusively ours.
+        unsafe {
+            *self.shared.job.get() = Some(Job { task, queues });
+        }
+        self.shared.active.store(workers, Ordering::Release);
+        if workers > 0 {
+            let mut epoch = self.shared.control.lock().unwrap_or_else(|e| e.into_inner());
+            epoch.0 += 1;
+            self.shared.work_ready.notify_all();
+        }
+        // The submitting thread is the last lane: drain its own queue, then
+        // steal leftovers, in parallel with the woken workers.
+        {
+            // SAFETY: published above; workers only read it.
+            let job = unsafe { (*self.shared.job.get()).as_ref().unwrap() };
+            IN_POOL_WORKER.with(|w| w.set(true));
+            let drained = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                drain(&self.shared, job, lanes - 1);
+            }));
+            IN_POOL_WORKER.with(|w| w.set(false));
+            if let Err(payload) = drained {
+                store_panic(&self.shared, payload);
+            }
+        }
+        if workers > 0 {
+            let mut epoch = self.shared.control.lock().unwrap_or_else(|e| e.into_inner());
+            while self.shared.active.load(Ordering::Acquire) != 0 {
+                epoch = self
+                    .shared
+                    .work_done
+                    .wait(epoch)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            drop(epoch);
+        }
+        // SAFETY: all lanes are done; drop the job (and the erased pointer)
+        // before `task`'s borrow ends.
+        unsafe {
+            *self.shared.job.get() = None;
+        }
+        self.shared.dispatches.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .dispatch_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let payload = self.shared.panic_slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        {
+            let _epoch = self.shared.control.lock();
+            self.shared.work_ready.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn store_panic(shared: &Shared, payload: Box<dyn Any + Send>) {
+    let mut slot = shared.panic_slot.lock().unwrap_or_else(|e| e.into_inner());
+    if slot.is_none() {
+        *slot = Some(payload);
+    }
+}
+
+/// Executes chunks for lane `me`: first its own queue, then round-robin
+/// stealing from the other lanes' queues.
+fn drain(shared: &Shared, job: &Job, me: usize) {
+    let lanes = job.queues.len();
+    let mut ran = 0u64;
+    let mut stolen = 0u64;
+    for offset in 0..lanes {
+        let victim = (me + offset) % lanes;
+        let queue = &job.queues[victim];
+        loop {
+            let index = queue.next.fetch_add(1, Ordering::Relaxed);
+            if index >= queue.end {
+                break;
+            }
+            // SAFETY: `run` keeps the closure alive until every lane exits.
+            unsafe { (*job.task)(index) };
+            ran += 1;
+            if offset != 0 {
+                stolen += 1;
+            }
+        }
+    }
+    shared.chunks.fetch_add(ran, Ordering::Relaxed);
+    shared.steals.fetch_add(stolen, Ordering::Relaxed);
+}
+
+/// Body of one parked OS worker.
+fn worker_loop(shared: Arc<Shared>, id: usize) {
+    let mut seen = 0u64;
+    loop {
+        {
+            let mut epoch = shared.control.lock().unwrap_or_else(|e| e.into_inner());
+            if epoch.0 == seen && !shared.shutdown.load(Ordering::Relaxed) {
+                shared.parks.fetch_add(1, Ordering::Relaxed);
+                while epoch.0 == seen && !shared.shutdown.load(Ordering::Relaxed) {
+                    epoch = shared.work_ready.wait(epoch).unwrap_or_else(|e| e.into_inner());
+                }
+                shared.unparks.fetch_add(1, Ordering::Relaxed);
+            }
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            seen = epoch.0;
+        }
+        {
+            // SAFETY: the epoch handshake guarantees the job was fully
+            // published before we observed the bump.
+            let job = unsafe { (*shared.job.get()).as_ref().unwrap() };
+            IN_POOL_WORKER.with(|w| w.set(true));
+            let drained = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                drain(&shared, job, id);
+            }));
+            IN_POOL_WORKER.with(|w| w.set(false));
+            if let Err(payload) = drained {
+                store_panic(&shared, payload);
+            }
+        }
+        let _epoch = shared.control.lock().unwrap_or_else(|e| e.into_inner());
+        if shared.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+            shared.work_done.notify_all();
+        }
+    }
+}
+
+/// Shared view of the pre-split output pieces, indexable from any lane.
+struct PieceTable<'a, T>(*mut &'a mut [T]);
+
+// SAFETY: each piece index is delivered to exactly one lane per job (see
+// `ChunkQueue`), so concurrent `&mut` access is disjoint.
+unsafe impl<T: Send> Send for PieceTable<'_, T> {}
+unsafe impl<T: Send> Sync for PieceTable<'_, T> {}
+
+impl<'a, T> PieceTable<'a, T> {
+    /// # Safety
+    ///
+    /// `i` must be in bounds and held by at most one lane at a time.
+    #[allow(clippy::mut_from_ref)] // exclusivity is the caller's contract above
+    unsafe fn piece(&self, i: usize) -> &mut &'a mut [T] {
+        &mut *self.0.add(i)
+    }
+}
 
 /// Splits `out` at the given chunk boundaries and applies
-/// `f(chunk_index, chunk_slice)` to every chunk, using up to `threads`
-/// worker threads.
+/// `f(chunk_index, chunk_slice)` to every chunk on `exec`'s worker pool
+/// (serially when the executor has a single functional thread).
 ///
 /// `bounds` must be non-decreasing, start at 0, and end at `out.len()`;
 /// chunk `i` receives `out[bounds[i]..bounds[i+1]]`.
 ///
 /// # Panics
 ///
-/// Panics if the bounds are malformed or if any worker panics.
-pub fn parallel_chunks<T, F>(threads: usize, out: &mut [T], bounds: &[usize], f: F)
+/// Panics if the bounds are malformed or if any chunk closure panics.
+pub fn parallel_chunks<T, F>(exec: &Executor, out: &mut [T], bounds: &[usize], f: F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
@@ -39,7 +407,8 @@ where
         return;
     }
 
-    if threads <= 1 || chunks == 1 {
+    let pool = exec.worker_pool();
+    if pool.is_none() || chunks == 1 {
         let mut rest = out;
         for i in 0..chunks {
             let len = bounds[i + 1] - bounds[i];
@@ -50,45 +419,54 @@ where
         return;
     }
 
-    // Pre-split the output into disjoint sub-slices, then let workers pop
-    // (index, slice) pairs from a shared queue.
-    let mut pieces: Vec<(usize, &mut [T])> = Vec::with_capacity(chunks);
+    // Pre-split the output into disjoint sub-slices; lanes fetch chunk
+    // indices from the pool queues and look their slice up by index.
+    let mut pieces: Vec<&mut [T]> = Vec::with_capacity(chunks);
     let mut rest = out;
     for i in 0..chunks {
         let len = bounds[i + 1] - bounds[i];
         let (head, tail) = rest.split_at_mut(len);
-        pieces.push((i, head));
+        pieces.push(head);
         rest = tail;
     }
-    let queue = Mutex::new(pieces);
-    let workers = threads.min(chunks);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let item = queue.lock().expect("queue poisoned").pop();
-                match item {
-                    Some((idx, slice)) => f(idx, slice),
-                    None => break,
-                }
-            });
-        }
+    let table = PieceTable(pieces.as_mut_ptr());
+    pool.unwrap().run(chunks, &|i| {
+        // SAFETY: index `i` is delivered exactly once, so this `&mut` is the
+        // only live reference to piece `i`.
+        let piece = unsafe { table.piece(i) };
+        f(i, piece);
     });
 }
 
 /// Computes one `f64` partial result per chunk in parallel and returns the
 /// partials in chunk order (so reductions are deterministic regardless of
 /// scheduling).
-pub fn parallel_partials<F>(threads: usize, chunks: usize, f: F) -> Vec<f64>
+pub fn parallel_partials<F>(exec: &Executor, chunks: usize, f: F) -> Vec<f64>
 where
     F: Fn(usize) -> f64 + Sync,
 {
     let mut partials = vec![0.0f64; chunks];
     let bounds: Vec<usize> = (0..=chunks).collect();
-    parallel_chunks(threads, &mut partials, &bounds, |i, slot| {
+    parallel_chunks(exec, &mut partials, &bounds, |i, slot| {
         slot[0] = f(i);
     });
     partials
+}
+
+/// Pairwise (tree) reduction of partial sums.
+///
+/// Unlike a left-to-right fold, the tree shape keeps rounding error growth
+/// logarithmic in the chunk count and matches how device reductions combine
+/// partials, while staying fully deterministic for a given partial order.
+pub fn tree_reduce(partials: &[f64]) -> f64 {
+    match partials.len() {
+        0 => 0.0,
+        1 => partials[0],
+        n => {
+            let mid = n.div_ceil(2);
+            tree_reduce(&partials[..mid]) + tree_reduce(&partials[mid..])
+        }
+    }
 }
 
 /// Builds chunk boundaries that split `n` items into at most `max_chunks`
@@ -106,10 +484,14 @@ pub fn uniform_bounds(n: usize, max_chunks: usize) -> Vec<usize> {
 mod tests {
     use super::*;
 
+    fn omp(threads: usize) -> Executor {
+        Executor::omp(threads)
+    }
+
     #[test]
     fn serial_path_applies_all_chunks() {
         let mut data = vec![0u32; 10];
-        parallel_chunks(1, &mut data, &[0, 3, 7, 10], |i, s| {
+        parallel_chunks(&Executor::reference(), &mut data, &[0, 3, 7, 10], |i, s| {
             s.fill(i as u32 + 1);
         });
         assert_eq!(data, [1, 1, 1, 2, 2, 2, 2, 3, 3, 3]);
@@ -125,15 +507,15 @@ mod tests {
                 *v = (i * 31 + k) as u64;
             }
         };
-        parallel_chunks(1, &mut serial, &bounds, kernel);
-        parallel_chunks(4, &mut parallel, &bounds, kernel);
+        parallel_chunks(&Executor::reference(), &mut serial, &bounds, kernel);
+        parallel_chunks(&omp(4), &mut parallel, &bounds, kernel);
         assert_eq!(serial, parallel);
     }
 
     #[test]
     fn empty_chunks_are_allowed() {
         let mut data = vec![7u8; 4];
-        parallel_chunks(2, &mut data, &[0, 0, 4, 4], |i, s| {
+        parallel_chunks(&omp(2), &mut data, &[0, 0, 4, 4], |i, s| {
             if i == 1 {
                 s.fill(9);
             } else {
@@ -147,12 +529,12 @@ mod tests {
     #[should_panic(expected = "bounds must end")]
     fn bad_bounds_panic() {
         let mut data = vec![0u8; 4];
-        parallel_chunks(1, &mut data, &[0, 2], |_, _| {});
+        parallel_chunks(&Executor::reference(), &mut data, &[0, 2], |_, _| {});
     }
 
     #[test]
     fn partials_are_in_chunk_order() {
-        let p = parallel_partials(4, 8, |i| i as f64 * 2.0);
+        let p = parallel_partials(&omp(4), 8, |i| i as f64 * 2.0);
         assert_eq!(p, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0]);
     }
 
@@ -168,5 +550,84 @@ mod tests {
         // Zero items yields a single empty chunk.
         let b = uniform_bounds(0, 4);
         assert_eq!(b, vec![0, 0]);
+    }
+
+    #[test]
+    fn pool_is_persistent_across_dispatches() {
+        let exec = omp(4);
+        let mut data = vec![0u32; 64];
+        let bounds = uniform_bounds(64, 8);
+        for round in 0..10 {
+            parallel_chunks(&exec, &mut data, &bounds, |i, s| {
+                s.fill((round * 100 + i) as u32);
+            });
+        }
+        let stats = exec.pool_stats();
+        assert_eq!(stats.dispatches, 10, "one dispatch per kernel");
+        assert_eq!(stats.chunks, 80, "8 chunks per kernel");
+        // The workers were spawned once and parked between jobs, never
+        // respawned: parks can exceed dispatches (initial park) but the pool
+        // object itself persisted, which `threads()` pins down.
+        assert_eq!(exec.worker_pool().unwrap().threads(), 4);
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_submitter() {
+        let exec = omp(2);
+        let mut data = vec![0u8; 8];
+        let bounds = uniform_bounds(8, 8);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_chunks(&exec, &mut data, &bounds, |i, _| {
+                if i == 5 {
+                    panic!("chunk 5 exploded");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must reach the caller");
+        // The pool survives the panic and keeps working.
+        parallel_chunks(&exec, &mut data, &bounds, |i, s| s.fill(i as u8));
+        assert_eq!(data, [0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline_without_deadlock() {
+        let exec = omp(2);
+        let exec2 = exec.clone();
+        let mut outer = vec![0u32; 4];
+        parallel_chunks(&exec, &mut outer, &[0, 2, 4], |_, s| {
+            // A nested job on the same executor must not deadlock.
+            let mut inner = vec![0u32; 4];
+            parallel_chunks(&exec2, &mut inner, &[0, 2, 4], |i, t| {
+                t.fill(i as u32 + 1);
+            });
+            s[0] = inner.iter().sum();
+        });
+        assert_eq!(outer[0], 6);
+    }
+
+    #[test]
+    fn stats_track_steals_on_skewed_chunks() {
+        let pool = WorkerPool::new(4);
+        let before = pool.stats();
+        // 64 chunks, one lane's queue is made artificially slow so others
+        // finish and steal. We can't control the scheduler, but we can check
+        // the books balance: every chunk ran exactly once.
+        let counter = AtomicU64::new(0);
+        pool.run(64, &|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        let d = pool.stats().since(&before);
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        assert_eq!(d.chunks, 64);
+        assert_eq!(d.dispatches, 1);
+        assert!(d.steals <= 64);
+    }
+
+    #[test]
+    fn tree_reduce_matches_linear_sum_on_exact_values() {
+        assert_eq!(tree_reduce(&[]), 0.0);
+        assert_eq!(tree_reduce(&[3.5]), 3.5);
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(tree_reduce(&v), 4950.0);
     }
 }

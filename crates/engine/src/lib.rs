@@ -41,5 +41,6 @@ pub use base::array::Array;
 pub use base::dim::Dim2;
 pub use base::error::{GkoError, Result};
 pub use base::types::{Index, Value};
+pub use executor::pool::PoolStats;
 pub use executor::Executor;
 pub use linop::LinOp;

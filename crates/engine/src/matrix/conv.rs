@@ -147,8 +147,7 @@ impl<V: Value> LinOp<V> for Conv2d<V> {
         let work = self.work();
         let bounds = uniform_bounds(h * w, work.len());
         let elem_bounds: Vec<usize> = bounds.iter().map(|&r| r * k).collect();
-        let threads = self.exec.functional_threads();
-        parallel_chunks(threads, x.as_mut_slice(), &elem_bounds, |chunk, xs| {
+        parallel_chunks(&self.exec, x.as_mut_slice(), &elem_bounds, |chunk, xs| {
             let out0 = bounds[chunk];
             for (local, xrow) in xs.chunks_mut(k).enumerate() {
                 let out = out0 + local;

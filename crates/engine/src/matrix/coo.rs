@@ -11,7 +11,7 @@ use crate::base::array::Array;
 use crate::base::dim::Dim2;
 use crate::base::error::{GkoError, Result};
 use crate::base::types::{Index, Value};
-use crate::executor::pool::uniform_bounds;
+use crate::executor::pool::{parallel_chunks, uniform_bounds};
 use crate::executor::Executor;
 use crate::linop::{check_apply_dims, LinOp};
 use crate::matrix::csr::Csr;
@@ -192,6 +192,24 @@ impl<V: Value, I: Index> Coo<V, I> {
     }
 }
 
+/// Raw output pointer shared across segment lanes for interior-row writes.
+struct SharedOut<V>(*mut V);
+
+// SAFETY: lanes only dereference offsets of rows *interior* to their own
+// segment, which are disjoint between segments (entries are sorted by row).
+unsafe impl<V: Send> Send for SharedOut<V> {}
+unsafe impl<V: Send> Sync for SharedOut<V> {}
+
+impl<V> SharedOut<V> {
+    /// # Safety
+    ///
+    /// The caller's lane must own `offset` exclusively for the duration of
+    /// the job.
+    unsafe fn slot(&self, offset: usize) -> *mut V {
+        self.0.add(offset)
+    }
+}
+
 impl<V: Value, I: Index> LinOp<V> for Coo<V, I> {
     fn size(&self) -> Dim2 {
         self.size
@@ -208,10 +226,13 @@ impl<V: Value, I: Index> LinOp<V> for Coo<V, I> {
 
     /// `x = alpha * A b + beta * x`, accumulating per row in `f64`.
     ///
-    /// Functional execution is sequential over the sorted triplets (chunk
-    /// boundaries need atomics on real GPUs; sequential execution gives the
-    /// same result deterministically), while the cost model charges the
-    /// nnz-partitioned parallel kernel.
+    /// The sorted triplets are cut into nnz-balanced *segments* (the same
+    /// partition the cost model charges). Each segment owns every row that
+    /// lies strictly inside it — those outputs are written directly — while
+    /// its first and last rows, which a segment boundary may split, go into
+    /// a per-segment scratch block that a serial second pass merges in
+    /// segment order. No atomics, and the segment count derives from the
+    /// device spec, so results are reproducible on any host.
     fn apply_advanced(&self, alpha: V, b: &Dense<V>, beta: V, x: &mut Dense<V>) -> Result<()> {
         check_apply_dims::<V>(self.size, b, x)?;
         if !self.executor().same_memory_space(b.executor()) {
@@ -223,6 +244,8 @@ impl<V: Value, I: Index> LinOp<V> for Coo<V, I> {
         let k = b.size().cols;
         let spec = self.executor().spec();
         let work = self.spmv_work(spec.workers * 4);
+        let bounds = uniform_bounds(self.nnz(), spec.workers * 4);
+        let segments = bounds.len() - 1;
 
         if beta != V::one() {
             x.scale(beta);
@@ -231,22 +254,68 @@ impl<V: Value, I: Index> LinOp<V> for Coo<V, I> {
         let ci = self.col_idxs.as_slice();
         let vals = self.values.as_slice();
         let bv = b.as_slice();
-        let xs = x.as_mut_slice();
-        let mut idx = 0usize;
-        let nnz = vals.len();
-        while idx < nnz {
-            let r = ri[idx].to_usize();
-            let mut acc = vec![0.0f64; k];
-            while idx < nnz && ri[idx].to_usize() == r {
-                let col = ci[idx].to_usize();
-                let v = vals[idx].to_f64();
-                for (c, a) in acc.iter_mut().enumerate() {
-                    *a += v * bv[col * k + c].to_f64();
-                }
-                idx += 1;
+        let exec = self.executor().clone();
+
+        // Scratch layout: per segment, k slots for its first row followed by
+        // k slots for its last row (unused when the segment has one row).
+        let mut scratch = vec![0.0f64; segments * 2 * k];
+        let scratch_bounds: Vec<usize> = (0..=segments).map(|s| s * 2 * k).collect();
+        let xs_out = SharedOut(x.as_mut_slice().as_mut_ptr());
+        parallel_chunks(&exec, scratch.as_mut_slice(), &scratch_bounds, |s, sc| {
+            let (lo, hi) = (bounds[s], bounds[s + 1]);
+            if lo == hi {
+                return;
             }
-            for (c, a) in acc.into_iter().enumerate() {
-                xs[r * k + c] += alpha * V::from_f64(a);
+            let r_first = ri[lo].to_usize();
+            let r_last = ri[hi - 1].to_usize();
+            let mut idx = lo;
+            while idx < hi {
+                let r = ri[idx].to_usize();
+                let mut acc = vec![0.0f64; k];
+                while idx < hi && ri[idx].to_usize() == r {
+                    let col = ci[idx].to_usize();
+                    let v = vals[idx].to_f64();
+                    for (c, a) in acc.iter_mut().enumerate() {
+                        *a += v * bv[col * k + c].to_f64();
+                    }
+                    idx += 1;
+                }
+                if r == r_first {
+                    sc[..k].copy_from_slice(&acc);
+                } else if r == r_last {
+                    sc[k..].copy_from_slice(&acc);
+                } else {
+                    // Interior row: sortedness puts every entry of `r` in
+                    // this segment, so this lane owns outputs r*k..(r+1)*k
+                    // exclusively.
+                    for (c, a) in acc.into_iter().enumerate() {
+                        // SAFETY: disjoint ownership argued above.
+                        unsafe {
+                            let slot = xs_out.slot(r * k + c);
+                            *slot += alpha * V::from_f64(a);
+                        }
+                    }
+                }
+            }
+        });
+        // Merge boundary rows serially in segment order: split rows receive
+        // their pieces in a fixed sequence, keeping the result deterministic.
+        let xs = x.as_mut_slice();
+        for s in 0..segments {
+            let (lo, hi) = (bounds[s], bounds[s + 1]);
+            if lo == hi {
+                continue;
+            }
+            let r_first = ri[lo].to_usize();
+            let r_last = ri[hi - 1].to_usize();
+            let sc = &scratch[s * 2 * k..(s + 1) * 2 * k];
+            for c in 0..k {
+                xs[r_first * k + c] += alpha * V::from_f64(sc[c]);
+            }
+            if r_last != r_first {
+                for c in 0..k {
+                    xs[r_last * k + c] += alpha * V::from_f64(sc[k + c]);
+                }
             }
         }
         self.executor().launch(&work);

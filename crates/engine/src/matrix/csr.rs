@@ -309,16 +309,17 @@ impl<V: Value, I: Index> Csr<V, I> {
                     // First row whose end passes the target.
                     let row = rp.partition_point(|&p| p.to_usize() < target);
                     let row = row.clamp(*bounds.last().unwrap(), m);
-                    bounds.push(row.min(m));
-                }
-                bounds.push(m);
-                // Enforce monotonicity (duplicate boundaries yield empty
-                // chunks, which is fine).
-                for i in 1..bounds.len() {
-                    if bounds[i] < bounds[i - 1] {
-                        bounds[i] = bounds[i - 1];
+                    // Skewed nnz distributions (e.g. one dense row holding
+                    // most of the matrix) make several targets resolve to
+                    // the same row. Keeping those duplicates would emit
+                    // empty chunks that inflate the modeled per-chunk
+                    // overhead and the pool's dispatch bookkeeping, so
+                    // boundaries are deduplicated as they are produced.
+                    if row < m && row != *bounds.last().unwrap() {
+                        bounds.push(row);
                     }
                 }
+                bounds.push(m);
                 bounds
             }
         }
@@ -358,9 +359,9 @@ impl<V: Value, I: Index> Csr<V, I> {
         let ci = self.col_idxs.as_slice();
         let vals = self.values.as_slice();
         let bv = b.as_slice();
-        let threads = self.executor().functional_threads();
+        let exec = self.executor().clone();
         let elem_bounds: Vec<usize> = bounds.iter().map(|&r| r * k).collect();
-        parallel_chunks(threads, x.as_mut_slice(), &elem_bounds, |chunk, xs| {
+        parallel_chunks(&exec, x.as_mut_slice(), &elem_bounds, |chunk, xs| {
             let row0 = bounds[chunk];
             for (local, xrow) in xs.chunks_mut(k).enumerate() {
                 let r = row0 + local;
@@ -591,6 +592,41 @@ mod tests {
         let mut x = Dense::zeros(&e, Dim2::new(2, 1));
         a.apply(&b, &mut x).unwrap();
         assert_eq!(x.to_host_vec(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn load_balance_bounds_have_no_duplicates_on_arrow_head() {
+        let e = exec();
+        // Arrow-head: full last row + full last column + diagonal. Most nnz
+        // sit in the final row, so many balance targets resolve to the same
+        // boundary row; these used to be emitted as duplicate bounds
+        // (= empty chunks inflating modeled chunk overhead).
+        let n = 64;
+        let mut triplets = vec![];
+        for i in 0..n - 1 {
+            triplets.push((i, i, 2.0f64));
+            triplets.push((i, n - 1, 1.0));
+            triplets.push((n - 1, i, 1.0));
+        }
+        triplets.push((n - 1, n - 1, 2.0));
+        let a = Csr::<f64, i32>::from_triplets(&e, Dim2::square(n), &triplets).unwrap();
+        for chunks in [2, 4, 16, 64, 1000] {
+            let bounds = a.chunk_bounds(chunks);
+            assert_eq!(bounds[0], 0);
+            assert_eq!(*bounds.last().unwrap(), n);
+            assert!(
+                bounds.windows(2).all(|w| w[0] < w[1]),
+                "strictly increasing bounds (chunks={chunks}): {bounds:?}"
+            );
+            assert!(bounds.len() <= chunks + 1);
+        }
+        // The result is still correct under the deduped partition.
+        let b = Dense::vector(&e, n, 1.0f64);
+        let mut x = Dense::zeros(&e, Dim2::new(n, 1));
+        a.apply(&b, &mut x).unwrap();
+        let xs = x.to_host_vec();
+        assert_eq!(xs[0], 3.0, "diag + last column");
+        assert_eq!(xs[n - 1], (n - 1) as f64 + 2.0, "dense last row");
     }
 
     #[test]

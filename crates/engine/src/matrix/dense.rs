@@ -10,7 +10,7 @@ use crate::base::array::Array;
 use crate::base::dim::Dim2;
 use crate::base::error::{GkoError, Result};
 use crate::base::types::Value;
-use crate::executor::pool::{parallel_chunks, parallel_partials, uniform_bounds};
+use crate::executor::pool::{parallel_chunks, parallel_partials, tree_reduce, uniform_bounds};
 use crate::executor::Executor;
 use crate::linop::{check_apply_dims, LinOp};
 use pygko_sim::ChunkWork;
@@ -167,12 +167,12 @@ impl<V: Value> Dense<V> {
             return;
         }
         let work = self.stream_kernel(2, 1.0);
-        let threads = self.executor().functional_threads();
+        let exec = self.executor().clone();
         let bounds = uniform_bounds(self.size.count(), work.len());
         if alpha == V::zero() {
             self.values.fill(V::zero());
         } else {
-            parallel_chunks(threads, self.values.as_mut_slice(), &bounds, |_, s| {
+            parallel_chunks(&exec, self.values.as_mut_slice(), &bounds, |_, s| {
                 for v in s {
                     *v *= alpha;
                 }
@@ -185,10 +185,10 @@ impl<V: Value> Dense<V> {
     pub fn add_scaled(&mut self, alpha: V, other: &Dense<V>) -> Result<()> {
         self.check_same_shape(other, "add_scaled")?;
         let work = self.stream_kernel(3, 2.0);
-        let threads = self.executor().functional_threads();
+        let exec = self.executor().clone();
         let bounds = uniform_bounds(self.size.count(), work.len());
         let src = other.values.as_slice();
-        parallel_chunks(threads, self.values.as_mut_slice(), &bounds, |i, s| {
+        parallel_chunks(&exec, self.values.as_mut_slice(), &bounds, |i, s| {
             let off = bounds_offset(&bounds, i);
             let len = s.len();
             for (d, &x) in s.iter_mut().zip(&src[off..off + len]) {
@@ -203,10 +203,10 @@ impl<V: Value> Dense<V> {
     pub fn scale_add(&mut self, alpha: V, other: &Dense<V>, beta: V) -> Result<()> {
         self.check_same_shape(other, "scale_add")?;
         let work = self.stream_kernel(3, 3.0);
-        let threads = self.executor().functional_threads();
+        let exec = self.executor().clone();
         let bounds = uniform_bounds(self.size.count(), work.len());
         let src = other.values.as_slice();
-        parallel_chunks(threads, self.values.as_mut_slice(), &bounds, |i, s| {
+        parallel_chunks(&exec, self.values.as_mut_slice(), &bounds, |i, s| {
             let off = bounds_offset(&bounds, i);
             let len = s.len();
             for (d, &x) in s.iter_mut().zip(&src[off..off + len]) {
@@ -221,12 +221,12 @@ impl<V: Value> Dense<V> {
     pub fn compute_dot(&self, other: &Dense<V>) -> Result<f64> {
         self.check_same_shape(other, "dot")?;
         let work = self.stream_kernel(2, 2.0);
-        let threads = self.executor().functional_threads();
+        let exec = self.executor().clone();
         let n = self.size.count();
         let bounds = uniform_bounds(n, work.len());
         let a = self.values.as_slice();
         let b = other.values.as_slice();
-        let partials = parallel_partials(threads, bounds.len() - 1, |i| {
+        let partials = parallel_partials(&exec, bounds.len() - 1, |i| {
             let (lo, hi) = (bounds[i], bounds[i + 1]);
             a[lo..hi]
                 .iter()
@@ -235,7 +235,7 @@ impl<V: Value> Dense<V> {
                 .sum()
         });
         self.executor().launch(&work);
-        Ok(partials.iter().sum())
+        Ok(tree_reduce(&partials))
     }
 
     /// Euclidean norm over all entries.
@@ -313,12 +313,12 @@ impl<V: Value> LinOp<V> for Dense<V> {
             })
             .collect();
 
-        let threads = self.executor().functional_threads();
+        let exec = self.executor().clone();
         let a = self.values.as_slice();
         let bv = b.values.as_slice();
         // x chunked by rows: each row owns k contiguous outputs.
         let elem_bounds: Vec<usize> = row_bounds.iter().map(|&r| r * k).collect();
-        parallel_chunks(threads, x.values.as_mut_slice(), &elem_bounds, |ci, xs| {
+        parallel_chunks(&exec, x.values.as_mut_slice(), &elem_bounds, |ci, xs| {
             let row0 = row_bounds[ci];
             for (local, xrow) in xs.chunks_mut(k).enumerate() {
                 let i = row0 + local;

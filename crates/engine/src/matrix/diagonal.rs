@@ -5,6 +5,7 @@ use crate::base::array::Array;
 use crate::base::dim::Dim2;
 use crate::base::error::{GkoError, Result};
 use crate::base::types::{Index, Value};
+use crate::executor::pool::{parallel_chunks, uniform_bounds};
 use crate::executor::Executor;
 use crate::linop::{check_apply_dims, LinOp};
 use crate::matrix::csr::Csr;
@@ -99,18 +100,26 @@ impl<V: Value> LinOp<V> for Diagonal<V> {
         let k = b.size().cols;
         let d = self.values.as_slice();
         let bv = b.as_slice();
-        let xs = x.as_mut_slice();
-        for (i, &di) in d.iter().enumerate() {
-            for c in 0..k {
-                xs[i * k + c] = di * bv[i * k + c];
+        let exec = self.executor().clone();
+        let spec = exec.spec();
+        // Row-chunked elementwise scaling on the executor's pool.
+        let row_bounds = uniform_bounds(d.len(), spec.workers * 2);
+        let elem_bounds: Vec<usize> = row_bounds.iter().map(|&r| r * k).collect();
+        let work: Vec<ChunkWork> = row_bounds
+            .windows(2)
+            .map(|w| {
+                let n = ((w[1] - w[0]) * k) as f64;
+                ChunkWork::new(n * 3.0 * V::BYTES as f64, 0.0, n)
+            })
+            .collect();
+        parallel_chunks(&exec, x.as_mut_slice(), &elem_bounds, |chunk, xs| {
+            let row0 = row_bounds[chunk];
+            for (local, out) in xs.iter_mut().enumerate() {
+                let elem = row0 * k + local;
+                *out = d[elem / k] * bv[elem];
             }
-        }
-        let n = (d.len() * k) as f64;
-        self.executor().launch(&[ChunkWork::new(
-            n * 3.0 * V::BYTES as f64,
-            0.0,
-            n,
-        )]);
+        });
+        self.executor().launch(&work);
         Ok(())
     }
 

@@ -150,9 +150,9 @@ impl<V: Value, I: Index> LinOp<V> for Ell<V, I> {
         let vals = self.values.as_slice();
         let bv = b.as_slice();
         let stored = self.stored_per_row;
-        let threads = self.executor().functional_threads();
+        let exec = self.executor().clone();
         let elem_bounds: Vec<usize> = bounds.iter().map(|&r| r * k).collect();
-        parallel_chunks(threads, x.as_mut_slice(), &elem_bounds, |chunk, xs| {
+        parallel_chunks(&exec, x.as_mut_slice(), &elem_bounds, |chunk, xs| {
             let row0 = bounds[chunk];
             for (local, xrow) in xs.chunks_mut(k).enumerate() {
                 let r = row0 + local;

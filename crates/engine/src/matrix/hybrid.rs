@@ -137,10 +137,15 @@ impl<V: Value, I: Index> LinOp<V> for Hybrid<V, I> {
     }
 
     fn apply(&self, b: &Dense<V>, x: &mut Dense<V>) -> Result<()> {
+        self.apply_advanced(V::one(), b, V::zero(), x)
+    }
+
+    /// Composes the two parallel sub-kernels: the ELL part applies the full
+    /// `alpha`/`beta` update, then the COO overflow accumulates on top.
+    fn apply_advanced(&self, alpha: V, b: &Dense<V>, beta: V, x: &mut Dense<V>) -> Result<()> {
         check_apply_dims::<V>(self.size, b, x)?;
-        // ELL part writes, COO overflow accumulates on top.
-        self.ell.apply(b, x)?;
-        self.coo.apply_advanced(V::one(), b, V::one(), x)
+        self.ell.apply_advanced(alpha, b, beta, x)?;
+        self.coo.apply_advanced(alpha, b, V::one(), x)
     }
 
     fn op_name(&self) -> &'static str {

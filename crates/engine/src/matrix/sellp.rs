@@ -10,6 +10,7 @@ use crate::base::array::Array;
 use crate::base::dim::Dim2;
 use crate::base::error::{GkoError, Result};
 use crate::base::types::{Index, Value};
+use crate::executor::pool::parallel_chunks;
 use crate::executor::Executor;
 use crate::linop::{check_apply_dims, LinOp};
 use crate::matrix::csr::Csr;
@@ -177,20 +178,33 @@ impl<V: Value, I: Index> LinOp<V> for Sellp<V, I> {
         let ci = self.col_idxs.as_slice();
         let vals = self.values.as_slice();
         let bv = b.as_slice();
-        let xs = x.as_mut_slice();
-        for s in 0..self.slice_lengths.len() {
-            let lo_row = s * self.slice_size;
+        let exec = self.executor().clone();
+        // Slice-parallel dispatch: each slice owns a contiguous row block,
+        // so slices map 1:1 onto pool chunks (exactly the partition the
+        // cost model charges).
+        let n_slices = self.slice_lengths.len();
+        let mut elem_bounds = Vec::with_capacity(n_slices + 1);
+        elem_bounds.push(0usize);
+        for s in 0..n_slices {
             let hi_row = ((s + 1) * self.slice_size).min(self.size.rows);
+            elem_bounds.push(hi_row * k);
+        }
+        let rows = self.size.rows;
+        parallel_chunks(&exec, x.as_mut_slice(), &elem_bounds, |s, xs| {
+            let lo_row = s * self.slice_size;
+            let hi_row = ((s + 1) * self.slice_size).min(rows);
+            let slice_len = self.slice_lengths[s];
+            let offset = self.slice_offsets[s];
             for r in lo_row..hi_row {
                 let lane = r - lo_row;
                 for c in 0..k {
                     let mut acc = 0.0f64;
-                    for slot in 0..self.slice_lengths[s] {
-                        let idx = self.slice_offsets[s] + slot * self.slice_size + lane;
+                    for slot in 0..slice_len {
+                        let idx = offset + slot * self.slice_size + lane;
                         acc += vals[idx].to_f64() * bv[ci[idx].to_usize() * k + c].to_f64();
                     }
                     let prod = V::from_f64(acc);
-                    let out = &mut xs[r * k + c];
+                    let out = &mut xs[(r - lo_row) * k + c];
                     *out = if beta == V::zero() {
                         alpha * prod
                     } else {
@@ -198,7 +212,7 @@ impl<V: Value, I: Index> LinOp<V> for Sellp<V, I> {
                     };
                 }
             }
-        }
+        });
         self.executor().launch(&work);
         Ok(())
     }

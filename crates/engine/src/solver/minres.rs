@@ -108,7 +108,7 @@ impl<V: Value> LinOp<V> for Minres<V> {
             w_new.add_scaled(V::from_f64(-rho2), &w)?;
             w_new.scale(V::from_f64(1.0 / rho1));
             x.add_scaled(V::from_f64(gamma_new * eta), &w_new)?;
-            eta = -sigma_new * eta;
+            eta *= -sigma_new;
 
             // Shift registers.
             std::mem::swap(&mut w_old, &mut w);

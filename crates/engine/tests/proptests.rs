@@ -1,49 +1,64 @@
-//! Engine-level property tests: format conversions, operator algebra,
-//! factorization residuals, and config JSON round trips on random inputs.
+//! Engine-level randomized property tests: format conversions, operator
+//! algebra, factorization residuals, and config JSON round trips on random
+//! inputs, driven by the deterministic in-tree harness
+//! (`pygko_sim::testing`).
 
 use gko::config::Config;
 use gko::linop::LinOp;
 use gko::matrix::{Coo, Csr, Dense, Ell, Sellp};
 use gko::{Dim2, Executor};
-use proptest::prelude::*;
+use pygko_sim::rng::Xoshiro256pp;
+use pygko_sim::testing::{check, sparse_triplets};
 use std::collections::BTreeMap;
 
 /// Random square sparse matrix as (n, unique sorted triplets).
-fn sparse() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
-    (2usize..20).prop_flat_map(|n| {
-        let entry = (0..n, 0..n, -5.0f64..5.0);
-        (Just(n), proptest::collection::vec(entry, 1..50)).prop_map(|(n, mut e)| {
-            e.sort_by_key(|&(r, c, _)| (r, c));
-            e.dedup_by_key(|&mut (r, c, _)| (r, c));
-            (n, e)
-        })
-    })
+fn sparse(rng: &mut Xoshiro256pp) -> (usize, Vec<(usize, usize, f64)>) {
+    sparse_triplets(rng, 2, 20, 50, 5.0)
 }
 
-/// Random JSON-able config tree (depth-limited).
-fn config_tree() -> impl Strategy<Value = Config> {
-    let leaf = prop_oneof![
-        Just(Config::Null),
-        any::<bool>().prop_map(Config::Bool),
-        any::<i64>().prop_map(Config::Int),
-        (-1.0e12f64..1.0e12).prop_map(Config::Float),
-        "[a-zA-Z0-9 _\\-\\.\"\\\\/\u{e9}\u{4e16}]{0,12}".prop_map(Config::Str),
+/// Random JSON-able config tree (depth-limited, mirrors the old proptest
+/// generator including quote/backslash/non-ASCII string content).
+fn config_tree(rng: &mut Xoshiro256pp, depth: usize) -> Config {
+    const CHARS: &[char] = &[
+        'a', 'Z', '0', '9', ' ', '_', '-', '.', '"', '\\', '/', '\u{e9}', '\u{4e16}',
     ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 0..4).prop_map(Config::Array),
-            proptest::collection::btree_map("[a-z]{1,6}", inner, 0..4)
-                .prop_map(|m: BTreeMap<String, Config>| Config::Map(m)),
-        ]
-    })
+    let leaf = depth == 0 || rng.below(3) == 0;
+    if leaf {
+        match rng.below(5) {
+            0 => Config::Null,
+            1 => Config::Bool(rng.below(2) == 0),
+            2 => Config::Int(rng.next_u64() as i64),
+            3 => Config::Float(rng.range_f64(-1.0e12, 1.0e12)),
+            _ => {
+                let len = rng.below_usize(12);
+                Config::Str(
+                    (0..len)
+                        .map(|_| CHARS[rng.below_usize(CHARS.len())])
+                        .collect(),
+                )
+            }
+        }
+    } else if rng.below(2) == 0 {
+        let len = rng.below_usize(4);
+        Config::Array((0..len).map(|_| config_tree(rng, depth - 1)).collect())
+    } else {
+        let len = rng.below_usize(4);
+        let mut map = BTreeMap::new();
+        for _ in 0..len {
+            let key: String = (0..1 + rng.below_usize(6))
+                .map(|_| (b'a' + rng.below(26) as u8) as char)
+                .collect();
+            map.insert(key, config_tree(rng, depth - 1));
+        }
+        Config::Map(map)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// All four sparse formats produce identical SpMV results.
-    #[test]
-    fn all_formats_agree((n, t) in sparse()) {
+/// All four sparse formats produce identical SpMV results.
+#[test]
+fn all_formats_agree() {
+    check("all_formats_agree", |rng| {
+        let (n, t) = sparse(rng);
         let exec = Executor::reference();
         let csr = Csr::<f64, i32>::from_triplets(&exec, Dim2::square(n), &t).unwrap();
         let coo = Coo::from_csr(&csr);
@@ -54,38 +69,43 @@ proptest! {
         let mut want = Dense::zeros(&exec, Dim2::new(n, 1));
         csr.apply(&b, &mut want).unwrap();
         let want = want.to_host_vec();
-        macro_rules! check {
+        macro_rules! check_format {
             ($m:expr) => {{
                 let mut x = Dense::zeros(&exec, Dim2::new(n, 1));
                 $m.apply(&b, &mut x).unwrap();
                 for (a, w) in x.to_host_vec().iter().zip(&want) {
-                    prop_assert!((a - w).abs() < 1e-10, "{a} vs {w}");
+                    assert!((a - w).abs() < 1e-10, "{a} vs {w}");
                 }
             }};
         }
-        check!(coo);
-        check!(ell);
-        check!(sellp);
-    }
+        check_format!(coo);
+        check_format!(ell);
+        check_format!(sellp);
+    });
+}
 
-    /// Transpose is an involution and (A^T)^T b == A b.
-    #[test]
-    fn transpose_involution((n, t) in sparse()) {
+/// Transpose is an involution.
+#[test]
+fn transpose_involution() {
+    check("transpose_involution", |rng| {
+        let (n, t) = sparse(rng);
         let exec = Executor::reference();
         let a = Csr::<f64, i32>::from_triplets(&exec, Dim2::square(n), &t).unwrap();
         let tt = a.transpose().transpose();
-        prop_assert_eq!(tt.row_ptrs(), a.row_ptrs());
-        prop_assert_eq!(tt.col_idxs(), a.col_idxs());
-        prop_assert_eq!(tt.values(), a.values());
-    }
+        assert_eq!(tt.row_ptrs(), a.row_ptrs());
+        assert_eq!(tt.col_idxs(), a.col_idxs());
+        assert_eq!(tt.values(), a.values());
+    });
+}
 
-    /// <A b, c> == <b, A^T c> (adjoint identity).
-    #[test]
-    fn adjoint_identity((n, t) in sparse(), seed in 0u64..500) {
+/// <A b, c> == <b, A^T c> (adjoint identity).
+#[test]
+fn adjoint_identity() {
+    check("adjoint_identity", |rng| {
+        let (n, t) = sparse(rng);
         let exec = Executor::reference();
         let a = Csr::<f64, i32>::from_triplets(&exec, Dim2::square(n), &t).unwrap();
         let at = a.transpose();
-        let mut rng = pygko_sim::rng::Xoshiro256pp::seed_from_u64(seed);
         let bvec: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
         let cvec: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
         let b = Dense::from_vec(&exec, Dim2::new(n, 1), bvec).unwrap();
@@ -97,14 +117,17 @@ proptest! {
         at.apply(&c, &mut atc).unwrap();
         let lhs = ab.compute_dot(&c).unwrap();
         let rhs = b.compute_dot(&atc).unwrap();
-        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
-    }
+        assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    });
+}
 
-    /// Classical and load-balanced CSR strategies agree bit-for-bit (the
-    /// partition changes scheduling, not per-row accumulation order).
-    #[test]
-    fn strategies_agree((n, t) in sparse()) {
-        use gko::matrix::SpmvStrategy;
+/// Classical and load-balanced CSR strategies agree bit-for-bit (the
+/// partition changes scheduling, not per-row accumulation order).
+#[test]
+fn strategies_agree() {
+    use gko::matrix::SpmvStrategy;
+    check("strategies_agree", |rng| {
+        let (n, t) = sparse(rng);
         let exec = Executor::omp(4);
         let b = Dense::<f64>::vector(&exec, n, 0.5);
         let mut out = Vec::new();
@@ -116,13 +139,16 @@ proptest! {
             a.apply(&b, &mut x).unwrap();
             out.push(x.to_host_vec());
         }
-        prop_assert_eq!(&out[0], &out[1]);
-    }
+        assert_eq!(&out[0], &out[1]);
+    });
+}
 
-    /// ILU(0) on a diagonally dominant matrix: (I+L)U matches A exactly on
-    /// A's sparsity pattern.
-    #[test]
-    fn ilu0_matches_on_pattern((n, mut t) in sparse()) {
+/// ILU(0) on a diagonally dominant matrix: (I+L)U matches A exactly on
+/// A's sparsity pattern.
+#[test]
+fn ilu0_matches_on_pattern() {
+    check("ilu0_matches_on_pattern", |rng| {
+        let (n, mut t) = sparse(rng);
         // Make diagonally dominant with full diagonal.
         let mut row_abs = vec![0.0f64; n];
         t.retain(|&(r, c, _)| r != c);
@@ -143,18 +169,23 @@ proptest! {
             for k in 0..n {
                 acc += ld.at(r, k) * ud.at(k, c);
             }
-            prop_assert!(
+            assert!(
                 (acc - ad.at(r, c)).abs() < 1e-8 * (1.0 + ad.at(r, c).abs()),
-                "({r},{c}): {acc} vs {}", ad.at(r, c)
+                "({r},{c}): {acc} vs {}",
+                ad.at(r, c)
             );
         }
-    }
+    });
+}
 
-    /// Triangular solve inverts the triangular product.
-    #[test]
-    fn triangular_solve_inverts((n, t) in sparse(), fill in 1.0f64..5.0) {
-        use gko::solver::LowerTrs;
-        use std::sync::Arc;
+/// Triangular solve inverts the triangular product.
+#[test]
+fn triangular_solve_inverts() {
+    use gko::solver::LowerTrs;
+    use std::sync::Arc;
+    check("triangular_solve_inverts", |rng| {
+        let (n, t) = sparse(rng);
+        let fill = rng.range_f64(1.0, 5.0);
         // Build a lower triangular matrix with a safe diagonal.
         let mut lt: Vec<(usize, usize, f64)> =
             t.iter().copied().filter(|&(r, c, _)| c < r).collect();
@@ -170,23 +201,31 @@ proptest! {
         let mut x = Dense::zeros(&exec, Dim2::new(n, 1));
         solver.apply(&b, &mut x).unwrap();
         for (got, want) in x.to_host_vec().iter().zip(x_true.to_host_vec()) {
-            prop_assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+            assert!((got - want).abs() < 1e-8, "{got} vs {want}");
         }
-    }
+    });
+}
 
-    /// JSON print/parse round trip is the identity on arbitrary trees.
-    #[test]
-    fn json_roundtrip(cfg in config_tree()) {
+/// JSON print/parse round trip is the identity on arbitrary trees.
+#[test]
+fn json_roundtrip() {
+    check("json_roundtrip", |rng| {
+        let cfg = config_tree(rng, 3);
         let text = cfg.to_json();
         let back = Config::from_json(&text).unwrap();
-        prop_assert_eq!(back, cfg);
-    }
+        assert_eq!(back, cfg);
+    });
+}
 
-    /// Dense GEMV distributes over vector addition.
-    #[test]
-    fn gemv_distributes((n, t) in sparse()) {
+/// Dense GEMV distributes over vector addition.
+#[test]
+fn gemv_distributes() {
+    check("gemv_distributes", |rng| {
+        let (n, t) = sparse(rng);
         let exec = Executor::reference();
-        let a = Csr::<f64, i32>::from_triplets(&exec, Dim2::square(n), &t).unwrap().to_dense();
+        let a = Csr::<f64, i32>::from_triplets(&exec, Dim2::square(n), &t)
+            .unwrap()
+            .to_dense();
         let b1 = Dense::<f64>::vector(&exec, n, 0.5);
         let b2 = Dense::<f64>::vector(&exec, n, -1.5);
         let mut sum = b1.clone();
@@ -200,7 +239,7 @@ proptest! {
         a.apply(&b2, &mut ab2).unwrap();
         rhs.add_scaled(1.0, &ab2).unwrap();
         for (l, r) in lhs.to_host_vec().iter().zip(rhs.to_host_vec()) {
-            prop_assert!((l - r).abs() < 1e-9 * (1.0 + r.abs()));
+            assert!((l - r).abs() < 1e-9 * (1.0 + r.abs()));
         }
-    }
+    });
 }

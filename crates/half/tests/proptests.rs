@@ -1,68 +1,106 @@
-//! Property-based tests for the binary16 implementation.
+//! Randomized tests for the binary16 implementation, driven by the
+//! deterministic in-tree harness (`pygko_sim::testing`).
 
-use proptest::prelude::*;
 use pygko_half::{f16_bits_to_f32, f32_to_f16_bits, Half};
+use pygko_sim::rng::Xoshiro256pp;
+use pygko_sim::testing::check_cases;
 
-proptest! {
-    /// Decoding then re-encoding any non-NaN bit pattern is the identity.
-    #[test]
-    fn decode_encode_roundtrip(bits in 0u16..=0xFFFF) {
+const CASES: usize = 256;
+
+fn range_f32(rng: &mut Xoshiro256pp, lo: f32, hi: f32) -> f32 {
+    rng.range_f64(lo as f64, hi as f64) as f32
+}
+
+/// Decoding then re-encoding any non-NaN bit pattern is the identity.
+#[test]
+fn decode_encode_roundtrip() {
+    check_cases("decode_encode_roundtrip", CASES, |rng| {
+        let bits = (rng.next_u64() & 0xFFFF) as u16;
         let exp = (bits >> 10) & 0x1F;
         let mant = bits & 0x03FF;
-        prop_assume!(!(exp == 0x1F && mant != 0)); // skip NaN patterns
-        prop_assert_eq!(f32_to_f16_bits(f16_bits_to_f32(bits)), bits);
-    }
+        if exp == 0x1F && mant != 0 {
+            return; // skip NaN patterns
+        }
+        assert_eq!(f32_to_f16_bits(f16_bits_to_f32(bits)), bits);
+    });
+}
 
-    /// Conversion from f32 is monotone: a <= b implies h(a) <= h(b).
-    #[test]
-    fn conversion_is_monotone(a in -70000.0f32..70000.0, b in -70000.0f32..70000.0) {
+/// Conversion from f32 is monotone: a <= b implies h(a) <= h(b).
+#[test]
+fn conversion_is_monotone() {
+    check_cases("conversion_is_monotone", CASES, |rng| {
+        let a = range_f32(rng, -70000.0, 70000.0);
+        let b = range_f32(rng, -70000.0, 70000.0);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let (hl, hh) = (Half::from_f32(lo), Half::from_f32(hi));
-        prop_assert!(hl.to_f32() <= hh.to_f32(), "{lo} -> {}, {hi} -> {}", hl, hh);
-    }
+        assert!(hl.to_f32() <= hh.to_f32(), "{lo} -> {hl}, {hi} -> {hh}");
+    });
+}
 
-    /// The rounding error of a single conversion is at most half an ulp of
-    /// the result (for finite results in the normal range).
-    #[test]
-    fn rounding_error_within_half_ulp(v in -65000.0f32..65000.0) {
+/// The rounding error of a single conversion is at most half an ulp of
+/// the result (for finite results in the normal range).
+#[test]
+fn rounding_error_within_half_ulp() {
+    check_cases("rounding_error_within_half_ulp", CASES, |rng| {
+        let v = range_f32(rng, -65000.0, 65000.0);
         let h = Half::from_f32(v);
-        prop_assume!(h.is_finite() && !h.is_subnormal() && !h.is_zero());
+        if !h.is_finite() || h.is_subnormal() || h.is_zero() {
+            return;
+        }
         let back = h.to_f32();
         // ulp of a binary16 normal x is 2^(exp-10).
         let exp = back.abs().log2().floor() as i32;
         let ulp = 2f32.powi(exp - 10);
-        prop_assert!((back - v).abs() <= ulp / 2.0 + ulp * 1e-6,
-            "v={v} back={back} ulp={ulp}");
-    }
+        assert!(
+            (back - v).abs() <= ulp / 2.0 + ulp * 1e-6,
+            "v={v} back={back} ulp={ulp}"
+        );
+    });
+}
 
-    /// Negation flips the sign bit and is an involution.
-    #[test]
-    fn negation_involution(v in -70000.0f32..70000.0) {
+/// Negation flips the sign bit and is an involution.
+#[test]
+fn negation_involution() {
+    check_cases("negation_involution", CASES, |rng| {
+        let v = range_f32(rng, -70000.0, 70000.0);
         let h = Half::from_f32(v);
-        prop_assert_eq!((-(-h)).to_bits(), h.to_bits());
-    }
+        assert_eq!((-(-h)).to_bits(), h.to_bits());
+    });
+}
 
-    /// a + b == b + a bit-exactly (both are rounded the same way).
-    #[test]
-    fn addition_commutes(a in -1000.0f32..1000.0, b in -1000.0f32..1000.0) {
+/// a + b == b + a bit-exactly (both are rounded the same way).
+#[test]
+fn addition_commutes() {
+    check_cases("addition_commutes", CASES, |rng| {
+        let a = range_f32(rng, -1000.0, 1000.0);
+        let b = range_f32(rng, -1000.0, 1000.0);
         let (x, y) = (Half::from_f32(a), Half::from_f32(b));
-        prop_assert_eq!((x + y).to_bits(), (y + x).to_bits());
-    }
+        assert_eq!((x + y).to_bits(), (y + x).to_bits());
+    });
+}
 
-    /// abs() never produces a negative value and preserves magnitude.
-    #[test]
-    fn abs_properties(v in -70000.0f32..70000.0) {
+/// abs() never produces a negative value and preserves magnitude.
+#[test]
+fn abs_properties() {
+    check_cases("abs_properties", CASES, |rng| {
+        let v = range_f32(rng, -70000.0, 70000.0);
         let h = Half::from_f32(v).abs();
-        prop_assert!(h.is_sign_positive());
-        prop_assert_eq!(h.to_f32(), Half::from_f32(v).to_f32().abs());
-    }
+        assert!(h.is_sign_positive());
+        assert_eq!(h.to_f32(), Half::from_f32(v).to_f32().abs());
+    });
+}
 
-    /// total_cmp agrees with partial_cmp on ordinary (non-NaN, non-zero-pair)
-    /// values.
-    #[test]
-    fn total_cmp_matches_partial(a in -70000.0f32..70000.0, b in -70000.0f32..70000.0) {
+/// total_cmp agrees with partial_cmp on ordinary (non-NaN, non-zero-pair)
+/// values.
+#[test]
+fn total_cmp_matches_partial() {
+    check_cases("total_cmp_matches_partial", CASES, |rng| {
+        let a = range_f32(rng, -70000.0, 70000.0);
+        let b = range_f32(rng, -70000.0, 70000.0);
         let (x, y) = (Half::from_f32(a), Half::from_f32(b));
-        prop_assume!(!(x.is_zero() && y.is_zero()));
-        prop_assert_eq!(Some(x.total_cmp(&y)), x.partial_cmp(&y));
-    }
+        if x.is_zero() && y.is_zero() {
+            return;
+        }
+        assert_eq!(Some(x.total_cmp(&y)), x.partial_cmp(&y));
+    });
 }

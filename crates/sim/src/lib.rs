@@ -28,6 +28,7 @@ mod cost;
 mod noise;
 pub mod rng;
 mod spec;
+pub mod testing;
 mod timeline;
 
 pub use cost::ChunkWork;

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Offline verification gate: release build, full test suite, and lint-clean
+# clippy. Run from anywhere; operates on the workspace containing this script.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "verify: OK"
