@@ -1,20 +1,23 @@
-//! Format × executor SpMV sweep with pool telemetry.
+//! Format × executor SpMV sweep with pool and profiler telemetry.
 //!
 //! Runs every sparse format on the reference executor and on OpenMP-model
 //! executors with 1/2/4/8/16 threads, on a large (~1.8M-nnz) Poisson
 //! matrix, and writes `results/BENCH_spmv.json` with deterministic
-//! virtual-time GFLOP/s, the speedup over the reference executor, and the
+//! virtual-time GFLOP/s, the speedup over the reference executor, the
 //! worker-pool counters (dispatches, chunks, steals, mean wall-clock
-//! nanoseconds per kernel dispatch).
+//! nanoseconds per kernel dispatch), and — via a [`Profiler`] attached to
+//! each executor — the per-kernel call/time aggregates of the whole sweep.
 //!
 //! `cargo run --release -p pygko-bench --bin spmv_formats`
 
 use gko::linop::LinOp;
+use gko::log::{Profiler, ProfilerSummary};
 use gko::matrix::{Coo, Csr, Dense, Ell, Hybrid, Sellp, SpmvStrategy};
 use gko::{Dim2, Executor};
 use pygko_bench::{fmt, gflops, quick_mode, results_dir, Report};
 use pygko_matgen::generators::poisson2d;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 struct Record {
     format: &'static str,
@@ -68,7 +71,12 @@ fn main() {
     .collect();
 
     let mut records: Vec<Record> = Vec::new();
+    // One profiler per executor observes every kernel of that executor's
+    // sweep (including warm-up applies and format conversions).
+    let mut profiles: Vec<(String, usize, ProfilerSummary)> = Vec::new();
     for (name, threads, exec) in &executors {
+        let profiler = Arc::new(Profiler::new());
+        exec.add_logger(profiler.clone());
         let csr = Csr::<f64, i32>::from_triplets(exec, dim, &gen.triplets).unwrap();
         let b = Dense::<f64>::vector(exec, gen.cols, 1.0);
         let mut x = Dense::zeros(exec, Dim2::new(gen.rows, 1));
@@ -102,6 +110,8 @@ fn main() {
         push("ell", "row_parallel", &Ell::from_csr(&csr), &mut x);
         push("sellp", "slice_parallel", &Sellp::from_csr(&csr), &mut x);
         push("hybrid", "ell+coo", &Hybrid::from_csr(&csr), &mut x);
+        profiles.push((name.clone(), *threads, profiler.summary()));
+        exec.clear_loggers();
     }
 
     // Speedup of each row over the same format/strategy on reference.
@@ -140,8 +150,28 @@ fn main() {
     }
     report.print();
 
-    // Hand-rolled JSON (the workspace carries no serialization dependency).
-    let mut json = String::from("[\n");
+    // Per-kernel profiler aggregates for the widest parallel executor.
+    if let Some((name, _, summary)) = profiles.last() {
+        println!("\nprofiler summary ({name}):");
+        for k in &summary.kernels {
+            println!(
+                "  {:<14} {:>6} calls  {:>12} virtual ns  {:>12} self ns",
+                k.op, k.calls, k.virtual_ns, k.self_virtual_ns
+            );
+        }
+        println!(
+            "  pool: {} dispatches, {} chunks, {} steals; {} allocations ({} bytes)",
+            summary.pool_dispatches,
+            summary.pool_chunks,
+            summary.pool_steals,
+            summary.allocations,
+            summary.allocated_bytes
+        );
+    }
+
+    // Hand-rolled JSON (the workspace carries no serialization dependency):
+    // timing records plus each executor's profiler telemetry.
+    let mut json = String::from("{\n\"records\": [\n");
     for (i, r) in records.iter().enumerate() {
         let _ = writeln!(
             json,
@@ -165,7 +195,42 @@ fn main() {
             if i + 1 == records.len() { "" } else { "," }
         );
     }
-    json.push_str("]\n");
+    json.push_str("],\n\"profiles\": [\n");
+    for (i, (name, threads, summary)) in profiles.iter().enumerate() {
+        let _ = write!(
+            json,
+            "  {{\"executor\": \"{name}\", \"threads\": {threads}, \
+             \"pool_dispatches\": {}, \"pool_chunks\": {}, \
+             \"pool_steals\": {}, \"allocations\": {}, \
+             \"allocated_bytes\": {}, \"kernels\": [",
+            summary.pool_dispatches,
+            summary.pool_chunks,
+            summary.pool_steals,
+            summary.allocations,
+            summary.allocated_bytes
+        );
+        for (j, k) in summary.kernels.iter().enumerate() {
+            let _ = write!(
+                json,
+                "{}{{\"op\": \"{}\", \"calls\": {}, \"wall_ns\": {}, \
+                 \"virtual_ns\": {}, \"self_wall_ns\": {}, \
+                 \"self_virtual_ns\": {}}}",
+                if j == 0 { "" } else { ", " },
+                k.op,
+                k.calls,
+                k.wall_ns,
+                k.virtual_ns,
+                k.self_wall_ns,
+                k.self_virtual_ns
+            );
+        }
+        let _ = writeln!(
+            json,
+            "]}}{}",
+            if i + 1 == profiles.len() { "" } else { "," }
+        );
+    }
+    json.push_str("]\n}\n");
     let dir = results_dir();
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join("BENCH_spmv.json");

@@ -66,7 +66,7 @@ pub use conv::conv2d;
 pub use device::{device, device_with_id, Device};
 pub use dtype::{DType, IndexType};
 pub use error::{PyGinkgoError, PyResult};
-pub use logger::Logger;
+pub use logger::{Logger, LoggerData, ProfileEntry};
 pub use matrix::{MatrixFormat, SparseMatrix};
 pub use read::{read, write};
 pub use tensor::{as_tensor, as_tensor_fill, Tensor};

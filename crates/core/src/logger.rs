@@ -1,5 +1,6 @@
 //! The logger object returned by `solver.apply` (Listing 1's
-//! `logger, result = solver.apply(b, x)`).
+//! `logger, result = solver.apply(b, x)`), plus the event-logging data
+//! types surfaced by `Solver::with_logger` / `Solver::logger_data`.
 
 use gko::log::{ConvergenceLogger, SolveRecord};
 
@@ -58,6 +59,57 @@ impl Logger {
             None => "not run",
         }
     }
+}
+
+/// One kernel's aggregated timings from an attached profiler
+/// (a rendered [`gko::log::KernelProfile`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// Kernel / operator name (`"csr"`, `"dense::dot"`, `"solver::Cg"`, ...).
+    pub op: String,
+    /// Number of completed invocations.
+    pub calls: u64,
+    /// Inclusive wall-clock time across all calls, nanoseconds.
+    pub wall_ns: u64,
+    /// Inclusive simulated device time across all calls, nanoseconds.
+    pub virtual_ns: u64,
+    /// Wall time excluding instrumented child kernels, nanoseconds.
+    pub self_wall_ns: u64,
+    /// Simulated time excluding instrumented child kernels, nanoseconds.
+    pub self_virtual_ns: u64,
+}
+
+/// Snapshot of everything the loggers attached via `Solver::with_logger`
+/// observed so far.
+///
+/// Fields whose logger kind was never attached stay at their defaults
+/// (empty vectors / zero counters).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LoggerData {
+    /// Rendered event history from a `"record"` logger, oldest first.
+    pub events: Vec<String>,
+    /// Events discarded by the `"record"` logger after its capacity filled.
+    pub dropped_events: u64,
+    /// Accumulated text from a `"stream"` logger.
+    pub stream: String,
+    /// Per-kernel aggregates from a `"profile"` logger, hottest first.
+    pub profile: Vec<ProfileEntry>,
+    /// Solver iterations observed by the profiler.
+    pub iterations: u64,
+    /// Stopping-criterion evaluations observed by the profiler.
+    pub criterion_checks: u64,
+    /// Completed solves observed by the profiler.
+    pub solves: u64,
+    /// Thread-pool dispatches observed by the profiler.
+    pub pool_dispatches: u64,
+    /// Work chunks executed across all observed pool dispatches.
+    pub pool_chunks: u64,
+    /// Chunks obtained by work stealing across all observed dispatches.
+    pub pool_steals: u64,
+    /// Executor allocations observed by the profiler.
+    pub allocations: u64,
+    /// Total bytes across observed allocations.
+    pub allocated_bytes: u64,
 }
 
 #[cfg(test)]

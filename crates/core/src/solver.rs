@@ -9,11 +9,11 @@
 use crate::device::Device;
 use crate::error::{PyGinkgoError, PyResult};
 use crate::gil::binding_call;
-use crate::logger::Logger;
+use crate::logger::{Logger, LoggerData, ProfileEntry};
 use crate::matrix::{MatrixFormat, MatrixImpl, SparseMatrix};
 use crate::preconditioner::{PrecondImpl, Preconditioner};
 use crate::tensor::{Tensor, TensorData};
-use gko::log::ConvergenceLogger;
+use gko::log::{ConvergenceLogger, Profiler, Record, SharedBuf, Stream};
 use gko::solver::{BiCgStab, Cg, Cgs, Direct, Gmres, LowerTrs, UpperTrs};
 use gko::stop::Criteria;
 use gko::{LinOp, Value};
@@ -28,6 +28,15 @@ pub(crate) enum SolverImpl {
     Double(Arc<dyn LinOp<f64>>),
 }
 
+/// Event loggers attached through [`Solver::with_logger`], kept so
+/// [`Solver::logger_data`] can read them back.
+#[derive(Clone, Default)]
+struct AttachedLoggers {
+    record: Option<Arc<Record>>,
+    stream: Option<SharedBuf>,
+    profiler: Option<Arc<Profiler>>,
+}
+
 /// A ready-to-apply solver bound to a device.
 #[derive(Clone)]
 pub struct Solver {
@@ -35,6 +44,7 @@ pub struct Solver {
     logger: ConvergenceLogger,
     name: &'static str,
     device: Device,
+    attached: AttachedLoggers,
 }
 
 impl Solver {
@@ -46,6 +56,82 @@ impl Solver {
     /// The device the solver runs on.
     pub fn device(&self) -> &Device {
         &self.device
+    }
+
+    /// Attaches an event logger of the given kind — pyGinkgo's
+    /// `solver.with_logger("record")` surface over Ginkgo's `add_logger`.
+    ///
+    /// Kinds: `"record"` keeps a bounded in-memory event history,
+    /// `"stream"` renders events to an internal text buffer, and
+    /// `"profile"` aggregates per-kernel timings and pool counters. The
+    /// logger is attached to the *device executor*, so it observes kernel
+    /// launches, allocations, and pool dispatches of every operation on
+    /// this device alongside this solver's iteration events. Kinds may be
+    /// combined by chaining calls; read results via [`Solver::logger_data`].
+    pub fn with_logger(mut self, kind: &str) -> PyResult<Self> {
+        let exec = self.device.executor();
+        match kind.to_ascii_lowercase().as_str() {
+            "record" => {
+                let record = Arc::new(Record::new());
+                exec.add_logger(record.clone());
+                self.attached.record = Some(record);
+            }
+            "stream" => {
+                let buf = SharedBuf::new();
+                exec.add_logger(Arc::new(Stream::new(buf.clone())));
+                self.attached.stream = Some(buf);
+            }
+            "profile" | "profiler" => {
+                let profiler = Arc::new(Profiler::new());
+                exec.add_logger(profiler.clone());
+                self.attached.profiler = Some(profiler);
+            }
+            other => {
+                return Err(PyGinkgoError::Value(format!(
+                    "unknown logger kind '{other}' (expected record, stream, or profile)"
+                )))
+            }
+        }
+        Ok(self)
+    }
+
+    /// Snapshot of everything the attached loggers have observed so far.
+    ///
+    /// Kinds never attached via [`Solver::with_logger`] leave their
+    /// [`LoggerData`] fields at the defaults.
+    pub fn logger_data(&self) -> LoggerData {
+        let mut data = LoggerData::default();
+        if let Some(record) = &self.attached.record {
+            data.events = record.events().iter().map(|e| e.to_string()).collect();
+            data.dropped_events = record.dropped();
+        }
+        if let Some(buf) = &self.attached.stream {
+            data.stream = buf.contents();
+        }
+        if let Some(profiler) = &self.attached.profiler {
+            let summary = profiler.summary();
+            data.profile = summary
+                .kernels
+                .iter()
+                .map(|k| ProfileEntry {
+                    op: k.op.to_string(),
+                    calls: k.calls,
+                    wall_ns: k.wall_ns,
+                    virtual_ns: k.virtual_ns,
+                    self_wall_ns: k.self_wall_ns,
+                    self_virtual_ns: k.self_virtual_ns,
+                })
+                .collect();
+            data.iterations = summary.iterations;
+            data.criterion_checks = summary.criterion_checks;
+            data.solves = summary.solves;
+            data.pool_dispatches = summary.pool_dispatches;
+            data.pool_chunks = summary.pool_chunks;
+            data.pool_steals = summary.pool_steals;
+            data.allocations = summary.allocations;
+            data.allocated_bytes = summary.allocated_bytes;
+        }
+        data
     }
 
     /// Solves `A x = b`: `x` is the initial guess on entry, the solution on
@@ -206,6 +292,7 @@ fn make_krylov(
             logger,
             name: algo.name(),
             device: device.clone(),
+            attached: AttachedLoggers::default(),
         })
     })
 }
@@ -324,6 +411,7 @@ where
             logger: ConvergenceLogger::new(),
             name,
             device: device.clone(),
+            attached: AttachedLoggers::default(),
         })
     })
 }
@@ -531,6 +619,45 @@ mod tests {
         let mut x = as_tensor_fill(&dev, (16, 1), "half", 0.0).unwrap();
         let log = solver.apply(&b, &mut x).unwrap();
         assert!(log.iterations() > 0);
+    }
+
+    #[test]
+    fn with_logger_exposes_events_stream_and_profile() {
+        let dev = device("reference").unwrap();
+        let mtx = spd(&dev, 32, "double");
+        let solver = cg(&dev, &mtx, None, 200, 1e-9)
+            .unwrap()
+            .with_logger("record")
+            .unwrap()
+            .with_logger("stream")
+            .unwrap()
+            .with_logger("profile")
+            .unwrap();
+        let b = as_tensor_fill(&dev, (32, 1), "double", 1.0).unwrap();
+        let mut x = as_tensor_fill(&dev, (32, 1), "double", 0.0).unwrap();
+        let log = solver.apply(&b, &mut x).unwrap();
+        assert!(log.converged());
+
+        let data = solver.logger_data();
+        assert!(
+            data.events.iter().any(|e| e.contains("iteration")),
+            "record logger should capture iteration events"
+        );
+        assert!(data.stream.contains("[gko]"), "stream text: {}", data.stream);
+        let ops: Vec<&str> = data.profile.iter().map(|p| p.op.as_str()).collect();
+        assert!(ops.contains(&"csr"), "profile ops: {ops:?}");
+        assert!(ops.contains(&"dense::dot"), "profile ops: {ops:?}");
+        assert!(ops.contains(&"solver::Cg"), "profile ops: {ops:?}");
+        assert_eq!(data.iterations, log.iterations() as u64);
+        assert_eq!(data.solves, 1);
+        assert!(data.allocations > 0);
+
+        // Unknown kinds are rejected.
+        let plain = cg(&dev, &mtx, None, 10, 1e-9).unwrap();
+        assert!(matches!(
+            plain.with_logger("tracing"),
+            Err(PyGinkgoError::Value(_))
+        ));
     }
 
     #[test]

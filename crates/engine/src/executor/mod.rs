@@ -16,6 +16,7 @@
 
 pub mod pool;
 
+use crate::log::{Event, Logger, LoggerRegistry};
 use pool::{PoolStats, WorkerPool};
 use pygko_sim::{ChunkWork, DeviceKind, DeviceSpec, Timeline};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -64,6 +65,8 @@ struct Inner {
     /// Lazily-spawned persistent worker pool; `None` once initialized means
     /// the executor is functionally single-threaded.
     pool: OnceLock<Option<WorkerPool>>,
+    /// Loggers attached to this executor (shared by all handle clones).
+    loggers: LoggerRegistry,
 }
 
 /// A cheaply-cloneable handle to an execution resource.
@@ -85,6 +88,7 @@ impl Executor {
             bytes_allocated: AtomicI64::new(0),
             peak_bytes: AtomicU64::new(0),
             pool: OnceLock::new(),
+            loggers: LoggerRegistry::new(),
         }))
     }
 
@@ -236,11 +240,35 @@ impl Executor {
         }
     }
 
+    /// The registry of loggers observing this executor's events.
+    ///
+    /// Kernels instrumented with [`crate::log::OpTimer`] emit
+    /// `LinOpApplyStarted`/`Completed` here; the memory accountant emits
+    /// `AllocationComplete`; parallel kernel dispatches emit `PoolDispatch`;
+    /// and solvers forward their iteration/solve events to their system
+    /// operator's executor, so an executor-attached [`crate::log::Profiler`]
+    /// sees the whole picture.
+    pub fn loggers(&self) -> &LoggerRegistry {
+        &self.0.loggers
+    }
+
+    /// Attaches a logger to this executor (convenience for
+    /// `loggers().add(..)`).
+    pub fn add_logger(&self, logger: Arc<dyn Logger>) {
+        self.0.loggers.add(logger);
+    }
+
+    /// Detaches every logger from this executor.
+    pub fn clear_loggers(&self) {
+        self.0.loggers.clear();
+    }
+
     /// Records an allocation in the memory accountant.
     pub fn track_alloc(&self, bytes: usize) {
         let now = self.0.bytes_allocated.fetch_add(bytes as i64, Ordering::Relaxed)
             + bytes as i64;
         self.0.peak_bytes.fetch_max(now.max(0) as u64, Ordering::Relaxed);
+        self.0.loggers.log(&Event::AllocationComplete { bytes });
     }
 
     /// Records a deallocation.

@@ -430,12 +430,26 @@ where
         rest = tail;
     }
     let table = PieceTable(pieces.as_mut_ptr());
-    pool.unwrap().run(chunks, &|i| {
+    let pool = pool.unwrap();
+    // Only pay for counter snapshots when someone is listening.
+    let stats_before = exec
+        .loggers()
+        .is_active()
+        .then(|| pool.stats());
+    pool.run(chunks, &|i| {
         // SAFETY: index `i` is delivered exactly once, so this `&mut` is the
         // only live reference to piece `i`.
         let piece = unsafe { table.piece(i) };
         f(i, piece);
     });
+    if let Some(before) = stats_before {
+        let delta = pool.stats().since(&before);
+        exec.loggers().log(&crate::log::Event::PoolDispatch {
+            chunks: delta.chunks,
+            steals: delta.steals,
+            threads: pool.threads(),
+        });
+    }
 }
 
 /// Computes one `f64` partial result per chunk in parallel and returns the

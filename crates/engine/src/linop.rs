@@ -12,6 +12,7 @@ use crate::base::dim::Dim2;
 use crate::base::error::{GkoError, Result};
 use crate::base::types::Value;
 use crate::executor::Executor;
+use crate::log::OpTimer;
 use crate::matrix::dense::Dense;
 use std::sync::Arc;
 
@@ -131,6 +132,7 @@ impl<V: Value> LinOp<V> for Composition<V> {
 
     fn apply(&self, b: &Dense<V>, x: &mut Dense<V>) -> Result<()> {
         check_apply_dims::<V>(self.size(), b, x)?;
+        let _timer = OpTimer::new(self.executor(), "composition");
         let mut tmp = Dense::zeros(
             self.second.executor(),
             Dim2::new(self.second.size().rows, b.size().cols),

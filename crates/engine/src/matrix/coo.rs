@@ -14,6 +14,7 @@ use crate::base::types::{Index, Value};
 use crate::executor::pool::{parallel_chunks, uniform_bounds};
 use crate::executor::Executor;
 use crate::linop::{check_apply_dims, LinOp};
+use crate::log::OpTimer;
 use crate::matrix::csr::Csr;
 use crate::matrix::dense::Dense;
 use pygko_sim::ChunkWork;
@@ -241,6 +242,7 @@ impl<V: Value, I: Index> LinOp<V> for Coo<V, I> {
                 right: b.executor().name().to_owned(),
             });
         }
+        let _timer = OpTimer::new(self.executor(), "coo");
         let k = b.size().cols;
         let spec = self.executor().spec();
         let work = self.spmv_work(spec.workers * 4);

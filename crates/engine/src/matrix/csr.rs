@@ -17,6 +17,7 @@ use crate::base::types::{Index, Value};
 use crate::executor::pool::{parallel_chunks, uniform_bounds};
 use crate::executor::Executor;
 use crate::linop::{check_apply_dims, LinOp};
+use crate::log::OpTimer;
 use crate::matrix::dense::Dense;
 use pygko_sim::ChunkWork;
 
@@ -350,6 +351,7 @@ impl<V: Value, I: Index> Csr<V, I> {
                 right: b.executor().name().to_owned(),
             });
         }
+        let _timer = OpTimer::new(self.executor(), "csr");
         let k = b.size().cols;
         let spec = self.executor().spec();
         let bounds = self.chunk_bounds(spec.workers * 4);

@@ -13,6 +13,7 @@ use crate::base::types::Value;
 use crate::executor::pool::{parallel_chunks, parallel_partials, tree_reduce, uniform_bounds};
 use crate::executor::Executor;
 use crate::linop::{check_apply_dims, LinOp};
+use crate::log::OpTimer;
 use pygko_sim::ChunkWork;
 
 /// A dense row-major matrix (or block of column vectors) on an executor.
@@ -145,6 +146,7 @@ impl<V: Value> Dense<V> {
 
     /// Sets every entry to `value`.
     pub fn fill(&mut self, value: V) {
+        let _timer = OpTimer::new(self.executor(), "dense::fill");
         let work = self.stream_kernel(1, 0.0);
         self.values.fill(value);
         self.executor().launch(&work);
@@ -153,6 +155,7 @@ impl<V: Value> Dense<V> {
     /// Copies values from a same-shaped matrix.
     pub fn copy_from(&mut self, other: &Dense<V>) -> Result<()> {
         self.check_same_shape(other, "copy")?;
+        let _timer = OpTimer::new(self.executor(), "dense::copy");
         let work = self.stream_kernel(2, 0.0);
         self.values
             .as_mut_slice()
@@ -166,6 +169,7 @@ impl<V: Value> Dense<V> {
         if alpha == V::one() {
             return;
         }
+        let _timer = OpTimer::new(self.executor(), "dense::scale");
         let work = self.stream_kernel(2, 1.0);
         let exec = self.executor().clone();
         let bounds = uniform_bounds(self.size.count(), work.len());
@@ -184,6 +188,7 @@ impl<V: Value> Dense<V> {
     /// AXPY: `self += alpha * other`.
     pub fn add_scaled(&mut self, alpha: V, other: &Dense<V>) -> Result<()> {
         self.check_same_shape(other, "add_scaled")?;
+        let _timer = OpTimer::new(self.executor(), "dense::axpy");
         let work = self.stream_kernel(3, 2.0);
         let exec = self.executor().clone();
         let bounds = uniform_bounds(self.size.count(), work.len());
@@ -202,6 +207,7 @@ impl<V: Value> Dense<V> {
     /// Scaled assignment: `self = alpha * other + beta * self`.
     pub fn scale_add(&mut self, alpha: V, other: &Dense<V>, beta: V) -> Result<()> {
         self.check_same_shape(other, "scale_add")?;
+        let _timer = OpTimer::new(self.executor(), "dense::scale_add");
         let work = self.stream_kernel(3, 3.0);
         let exec = self.executor().clone();
         let bounds = uniform_bounds(self.size.count(), work.len());
@@ -220,6 +226,7 @@ impl<V: Value> Dense<V> {
     /// Dot product over all entries, accumulated in `f64`.
     pub fn compute_dot(&self, other: &Dense<V>) -> Result<f64> {
         self.check_same_shape(other, "dot")?;
+        let _timer = OpTimer::new(self.executor(), "dense::dot");
         let work = self.stream_kernel(2, 2.0);
         let exec = self.executor().clone();
         let n = self.size.count();
@@ -297,6 +304,7 @@ impl<V: Value> LinOp<V> for Dense<V> {
     fn apply_advanced(&self, alpha: V, b: &Dense<V>, beta: V, x: &mut Dense<V>) -> Result<()> {
         check_apply_dims::<V>(self.size, b, x)?;
         self.values.check_same_executor(&b.values)?;
+        let _timer = OpTimer::new(self.executor(), "dense::gemv");
         let (m, n) = (self.size.rows, self.size.cols);
         let k = b.size().cols;
         let spec = self.executor().spec();

@@ -8,6 +8,7 @@ use crate::base::types::{Index, Value};
 use crate::executor::pool::{parallel_chunks, uniform_bounds};
 use crate::executor::Executor;
 use crate::linop::{check_apply_dims, LinOp};
+use crate::log::OpTimer;
 use crate::matrix::csr::Csr;
 use crate::matrix::dense::Dense;
 use pygko_sim::ChunkWork;
@@ -97,6 +98,7 @@ impl<V: Value> LinOp<V> for Diagonal<V> {
 
     fn apply(&self, b: &Dense<V>, x: &mut Dense<V>) -> Result<()> {
         check_apply_dims::<V>(self.size(), b, x)?;
+        let _timer = OpTimer::new(self.executor(), "diagonal");
         let k = b.size().cols;
         let d = self.values.as_slice();
         let bv = b.as_slice();

@@ -13,6 +13,7 @@ use crate::base::types::{Index, Value};
 use crate::executor::pool::{parallel_chunks, uniform_bounds};
 use crate::executor::Executor;
 use crate::linop::{check_apply_dims, LinOp};
+use crate::log::OpTimer;
 use crate::matrix::csr::Csr;
 use crate::matrix::dense::Dense;
 use pygko_sim::ChunkWork;
@@ -140,6 +141,7 @@ impl<V: Value, I: Index> LinOp<V> for Ell<V, I> {
                 right: b.executor().name().to_owned(),
             });
         }
+        let _timer = OpTimer::new(self.executor(), "ell");
         let k = b.size().cols;
         let rows = self.size.rows;
         let spec = self.executor().spec();

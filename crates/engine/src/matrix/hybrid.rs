@@ -11,6 +11,7 @@ use crate::base::error::Result;
 use crate::base::types::{Index, Value};
 use crate::executor::Executor;
 use crate::linop::{check_apply_dims, LinOp};
+use crate::log::OpTimer;
 use crate::matrix::coo::Coo;
 use crate::matrix::csr::Csr;
 use crate::matrix::dense::Dense;
@@ -144,6 +145,9 @@ impl<V: Value, I: Index> LinOp<V> for Hybrid<V, I> {
     /// `alpha`/`beta` update, then the COO overflow accumulates on top.
     fn apply_advanced(&self, alpha: V, b: &Dense<V>, beta: V, x: &mut Dense<V>) -> Result<()> {
         check_apply_dims::<V>(self.size, b, x)?;
+        // The sub-kernels emit their own "ell"/"coo" events, which a
+        // profiler attributes as children nested under this frame.
+        let _timer = OpTimer::new(self.executor(), "hybrid");
         self.ell.apply_advanced(alpha, b, beta, x)?;
         self.coo.apply_advanced(alpha, b, V::one(), x)
     }

@@ -13,6 +13,7 @@ use crate::base::types::{Index, Value};
 use crate::executor::pool::parallel_chunks;
 use crate::executor::Executor;
 use crate::linop::{check_apply_dims, LinOp};
+use crate::log::OpTimer;
 use crate::matrix::csr::Csr;
 use crate::matrix::dense::Dense;
 use pygko_sim::ChunkWork;
@@ -173,6 +174,7 @@ impl<V: Value, I: Index> LinOp<V> for Sellp<V, I> {
                 right: b.executor().name().to_owned(),
             });
         }
+        let _timer = OpTimer::new(self.executor(), "sellp");
         let k = b.size().cols;
         let work = self.spmv_work();
         let ci = self.col_idxs.as_slice();

@@ -5,7 +5,7 @@ use crate::base::error::Result;
 use crate::base::types::Value;
 use crate::executor::Executor;
 use crate::linop::LinOp;
-use crate::log::ConvergenceLogger;
+use crate::log::{ConvergenceLogger, Logger, OpTimer};
 use crate::matrix::dense::Dense;
 use crate::solver::SolverCore;
 use crate::stop::{Criteria, StopReason};
@@ -20,8 +20,19 @@ impl<V: Value> BiCgStab<V> {
     /// Creates a BiCGStab solver for the given system operator.
     pub fn new(system: Arc<dyn LinOp<V>>) -> Result<Self> {
         Ok(BiCgStab {
-            core: SolverCore::new(system)?,
+            core: SolverCore::new("solver::Bicgstab", system)?,
         })
+    }
+
+    /// Attaches a logger observing this solver's iteration events.
+    pub fn with_logger(self, logger: Arc<dyn Logger>) -> Self {
+        self.core.add_logger(logger);
+        self
+    }
+
+    /// Attaches a logger without consuming the solver.
+    pub fn add_logger(&self, logger: Arc<dyn Logger>) {
+        self.core.add_logger(logger);
     }
 
     /// Sets the preconditioner.
@@ -55,6 +66,7 @@ impl<V: Value> LinOp<V> for BiCgStab<V> {
         let core = &self.core;
         core.check_vectors(b, x)?;
         let exec = x.executor().clone();
+        let _solve_timer = OpTimer::new(&exec, self.op_name());
         let n = self.size().rows;
         let dim = Dim2::new(n, 1);
 
@@ -70,7 +82,7 @@ impl<V: Value> LinOp<V> for BiCgStab<V> {
 
         let baseline = r.compute_norm2();
         core.logger.begin(baseline);
-        if let Some(reason) = core.criteria.check(0, baseline, baseline) {
+        if let Some(reason) = core.check(0, baseline, baseline) {
             core.logger.finish(0, reason);
             return Ok(());
         }
@@ -107,18 +119,17 @@ impl<V: Value> LinOp<V> for BiCgStab<V> {
             s.add_scaled(V::from_f64(-alpha), &v)?;
 
             let s_norm = s.compute_norm2();
-            if core.criteria.check(iter, s_norm, baseline).is_some()
-                && core.criteria.check(iter, s_norm, baseline)
-                    != Some(StopReason::MaxIterations)
-            {
-                // Early half-step convergence: x += alpha * p_hat.
-                x.add_scaled(V::from_f64(alpha), &p_hat)?;
-                core.logger.record_residual(iter, s_norm);
-                core.logger.finish(
-                    iter,
-                    core.criteria.check(iter, s_norm, baseline).unwrap(),
-                );
-                return Ok(());
+            let half_step = core.check(iter, s_norm, baseline);
+            if let Some(reason) = half_step {
+                if reason != StopReason::MaxIterations {
+                    // Early half-step convergence (or a non-finite s_norm,
+                    // which `check` reports as Breakdown): the half-step
+                    // update completes this iteration, so it is counted.
+                    x.add_scaled(V::from_f64(alpha), &p_hat)?;
+                    core.logger.record_residual(iter, s_norm);
+                    core.logger.finish(iter, reason);
+                    return Ok(());
+                }
             }
 
             core.precond.apply(&s, &mut s_hat)?;
@@ -138,7 +149,7 @@ impl<V: Value> LinOp<V> for BiCgStab<V> {
 
             let res_norm = r.compute_norm2();
             core.logger.record_residual(iter, res_norm);
-            if let Some(reason) = core.criteria.check(iter, res_norm, baseline) {
+            if let Some(reason) = core.check(iter, res_norm, baseline) {
                 core.logger.finish(iter, reason);
                 return Ok(());
             }

@@ -9,7 +9,7 @@ use crate::base::error::Result;
 use crate::base::types::Value;
 use crate::executor::Executor;
 use crate::linop::LinOp;
-use crate::log::ConvergenceLogger;
+use crate::log::{ConvergenceLogger, Logger, OpTimer};
 use crate::matrix::dense::Dense;
 use crate::solver::SolverCore;
 use crate::stop::{Criteria, StopReason};
@@ -24,8 +24,19 @@ impl<V: Value> Cgs<V> {
     /// Creates a CGS solver for the given system operator.
     pub fn new(system: Arc<dyn LinOp<V>>) -> Result<Self> {
         Ok(Cgs {
-            core: SolverCore::new(system)?,
+            core: SolverCore::new("solver::Cgs", system)?,
         })
+    }
+
+    /// Attaches a logger observing this solver's iteration events.
+    pub fn with_logger(self, logger: Arc<dyn Logger>) -> Self {
+        self.core.add_logger(logger);
+        self
+    }
+
+    /// Attaches a logger without consuming the solver.
+    pub fn add_logger(&self, logger: Arc<dyn Logger>) {
+        self.core.add_logger(logger);
     }
 
     /// Sets the preconditioner.
@@ -59,6 +70,7 @@ impl<V: Value> LinOp<V> for Cgs<V> {
         let core = &self.core;
         core.check_vectors(b, x)?;
         let exec = x.executor().clone();
+        let _solve_timer = OpTimer::new(&exec, self.op_name());
         let n = self.size().rows;
         let dim = Dim2::new(n, 1);
 
@@ -74,7 +86,7 @@ impl<V: Value> LinOp<V> for Cgs<V> {
 
         let baseline = r.compute_norm2();
         core.logger.begin(baseline);
-        if let Some(reason) = core.criteria.check(0, baseline, baseline) {
+        if let Some(reason) = core.check(0, baseline, baseline) {
             core.logger.finish(0, reason);
             return Ok(());
         }
@@ -125,7 +137,7 @@ impl<V: Value> LinOp<V> for Cgs<V> {
 
             let res_norm = r.compute_norm2();
             core.logger.record_residual(iter, res_norm);
-            if let Some(reason) = core.criteria.check(iter, res_norm, baseline) {
+            if let Some(reason) = core.check(iter, res_norm, baseline) {
                 core.logger.finish(iter, reason);
                 return Ok(());
             }

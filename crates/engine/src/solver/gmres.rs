@@ -20,7 +20,7 @@ use crate::base::error::Result;
 use crate::base::types::Value;
 use crate::executor::Executor;
 use crate::linop::LinOp;
-use crate::log::ConvergenceLogger;
+use crate::log::{ConvergenceLogger, Logger, OpTimer};
 use crate::matrix::dense::Dense;
 use crate::solver::SolverCore;
 use crate::stop::{Criteria, StopReason};
@@ -40,9 +40,20 @@ impl<V: Value> Gmres<V> {
     /// Creates a GMRES solver for the given system operator.
     pub fn new(system: Arc<dyn LinOp<V>>) -> Result<Self> {
         Ok(Gmres {
-            core: SolverCore::new(system)?,
+            core: SolverCore::new("solver::Gmres", system)?,
             krylov_dim: DEFAULT_KRYLOV_DIM,
         })
+    }
+
+    /// Attaches a logger observing this solver's iteration events.
+    pub fn with_logger(self, logger: Arc<dyn Logger>) -> Self {
+        self.core.add_logger(logger);
+        self
+    }
+
+    /// Attaches a logger without consuming the solver.
+    pub fn add_logger(&self, logger: Arc<dyn Logger>) {
+        self.core.add_logger(logger);
     }
 
     /// Sets the Krylov subspace dimension (restart length).
@@ -159,6 +170,7 @@ impl<V: Value> LinOp<V> for Gmres<V> {
         let core = &self.core;
         core.check_vectors(b, x)?;
         let exec = x.executor().clone();
+        let _solve_timer = OpTimer::new(&exec, self.op_name());
         let n = self.size().rows;
         let dim = Dim2::new(n, 1);
         let m = self.krylov_dim;
@@ -167,7 +179,7 @@ impl<V: Value> LinOp<V> for Gmres<V> {
         core.residual(b, x, &mut r)?;
         let baseline = r.compute_norm2();
         core.logger.begin(baseline);
-        if let Some(reason) = core.criteria.check(0, baseline, baseline) {
+        if let Some(reason) = core.check(0, baseline, baseline) {
             core.logger.finish(0, reason);
             return Ok(());
         }
@@ -176,11 +188,13 @@ impl<V: Value> LinOp<V> for Gmres<V> {
         'outer: loop {
             core.residual(b, x, &mut r)?;
             let beta = r.compute_norm2();
-            if let Some(reason) = core.criteria.check(total_iters, beta, baseline) {
+            if let Some(reason) = core.check(total_iters, beta, baseline) {
                 core.logger.finish(total_iters, reason);
                 return Ok(());
             }
-            if beta == 0.0 || !beta.is_finite() {
+            // A non-finite beta already stopped above (check reports
+            // Breakdown); an exactly-zero one cannot seed the basis.
+            if beta == 0.0 {
                 core.logger.finish(total_iters, StopReason::Breakdown);
                 return Ok(());
             }
@@ -242,7 +256,10 @@ impl<V: Value> LinOp<V> for Gmres<V> {
                 }
                 let denom = (col[j] * col[j] + col[j + 1] * col[j + 1]).sqrt();
                 if denom == 0.0 || !denom.is_finite() {
-                    core.logger.finish(total_iters, StopReason::Breakdown);
+                    // The iteration aborted before its residual check, so it
+                    // does not count as completed (engine-wide convention,
+                    // see `SolveRecord::iterations`).
+                    core.logger.finish(total_iters - 1, StopReason::Breakdown);
                     return Ok(());
                 }
                 cs[j] = col[j] / denom;
@@ -258,7 +275,7 @@ impl<V: Value> LinOp<V> for Gmres<V> {
                 // `restart - 1` checks relative to CuPy).
                 let res_est = g[j + 1].abs();
                 core.logger.record_residual(total_iters, res_est);
-                if let Some(reason) = core.criteria.check(total_iters, res_est, baseline) {
+                if let Some(reason) = core.check(total_iters, res_est, baseline) {
                     let y = back_substitute(&h, &g, j + 1);
                     self.update_solution(&basis, &y, j + 1, x)?;
                     core.logger.finish(total_iters, reason);

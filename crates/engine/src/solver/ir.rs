@@ -9,7 +9,7 @@ use crate::base::error::Result;
 use crate::base::types::Value;
 use crate::executor::Executor;
 use crate::linop::LinOp;
-use crate::log::ConvergenceLogger;
+use crate::log::{ConvergenceLogger, Logger, OpTimer};
 use crate::matrix::dense::Dense;
 use crate::solver::SolverCore;
 use crate::stop::Criteria;
@@ -25,9 +25,20 @@ impl<V: Value> Ir<V> {
     /// Creates an IR solver with relaxation factor 1.
     pub fn new(system: Arc<dyn LinOp<V>>) -> Result<Self> {
         Ok(Ir {
-            core: SolverCore::new(system)?,
+            core: SolverCore::new("solver::Ir", system)?,
             omega: 1.0,
         })
+    }
+
+    /// Attaches a logger observing this solver's iteration events.
+    pub fn with_logger(self, logger: Arc<dyn Logger>) -> Self {
+        self.core.add_logger(logger);
+        self
+    }
+
+    /// Attaches a logger without consuming the solver.
+    pub fn add_logger(&self, logger: Arc<dyn Logger>) {
+        self.core.add_logger(logger);
     }
 
     /// Sets the relaxation factor omega.
@@ -67,6 +78,7 @@ impl<V: Value> LinOp<V> for Ir<V> {
         let core = &self.core;
         core.check_vectors(b, x)?;
         let exec = x.executor().clone();
+        let _solve_timer = OpTimer::new(&exec, self.op_name());
         let dim = Dim2::new(self.size().rows, 1);
         let mut r = Dense::zeros(&exec, dim);
         let mut d = Dense::zeros(&exec, dim);
@@ -74,7 +86,7 @@ impl<V: Value> LinOp<V> for Ir<V> {
         core.residual(b, x, &mut r)?;
         let baseline = r.compute_norm2();
         core.logger.begin(baseline);
-        if let Some(reason) = core.criteria.check(0, baseline, baseline) {
+        if let Some(reason) = core.check(0, baseline, baseline) {
             core.logger.finish(0, reason);
             return Ok(());
         }
@@ -87,7 +99,7 @@ impl<V: Value> LinOp<V> for Ir<V> {
             core.residual(b, x, &mut r)?;
             let res = r.compute_norm2();
             core.logger.record_residual(iter, res);
-            if let Some(reason) = core.criteria.check(iter, res, baseline) {
+            if let Some(reason) = core.check(iter, res, baseline) {
                 core.logger.finish(iter, reason);
                 return Ok(());
             }

@@ -7,7 +7,7 @@ use crate::base::error::Result;
 use crate::base::types::Value;
 use crate::executor::Executor;
 use crate::linop::LinOp;
-use crate::log::ConvergenceLogger;
+use crate::log::{ConvergenceLogger, Logger, OpTimer};
 use crate::matrix::dense::Dense;
 use crate::solver::SolverCore;
 use crate::stop::{Criteria, StopReason};
@@ -22,8 +22,19 @@ impl<V: Value> Minres<V> {
     /// Creates a MINRES solver for the given symmetric system operator.
     pub fn new(system: Arc<dyn LinOp<V>>) -> Result<Self> {
         Ok(Minres {
-            core: SolverCore::new(system)?,
+            core: SolverCore::new("solver::Minres", system)?,
         })
+    }
+
+    /// Attaches a logger observing this solver's iteration events.
+    pub fn with_logger(self, logger: Arc<dyn Logger>) -> Self {
+        self.core.add_logger(logger);
+        self
+    }
+
+    /// Attaches a logger without consuming the solver.
+    pub fn add_logger(&self, logger: Arc<dyn Logger>) {
+        self.core.add_logger(logger);
     }
 
     /// Sets the stopping criteria.
@@ -51,6 +62,7 @@ impl<V: Value> LinOp<V> for Minres<V> {
         let core = &self.core;
         core.check_vectors(b, x)?;
         let exec = x.executor().clone();
+        let _solve_timer = OpTimer::new(&exec, self.op_name());
         let n = self.size().rows;
         let dim = Dim2::new(n, 1);
 
@@ -59,11 +71,13 @@ impl<V: Value> LinOp<V> for Minres<V> {
         core.residual(b, x, &mut v)?;
         let beta1 = v.compute_norm2();
         core.logger.begin(beta1);
-        if let Some(reason) = core.criteria.check(0, beta1, beta1) {
+        if let Some(reason) = core.check(0, beta1, beta1) {
             core.logger.finish(0, reason);
             return Ok(());
         }
-        if beta1 == 0.0 || !beta1.is_finite() {
+        // Non-finite beta1 already stopped above (check reports Breakdown);
+        // an exactly-zero residual cannot seed the Lanczos process.
+        if beta1 == 0.0 {
             core.logger.finish(0, StopReason::Breakdown);
             return Ok(());
         }
@@ -126,7 +140,7 @@ impl<V: Value> LinOp<V> for Minres<V> {
 
             let res_est = eta.abs();
             core.logger.record_residual(iter, res_est);
-            if let Some(reason) = core.criteria.check(iter, res_est, beta1) {
+            if let Some(reason) = core.check(iter, res_est, beta1) {
                 core.logger.finish(iter, reason);
                 return Ok(());
             }

@@ -11,7 +11,7 @@ use crate::base::error::Result;
 use crate::base::types::{Index, Value};
 use crate::executor::Executor;
 use crate::linop::LinOp;
-use crate::log::ConvergenceLogger;
+use crate::log::{ConvergenceLogger, Event, Logger, LoggerRegistry, OpTimer};
 use crate::matrix::csr::Csr;
 use crate::matrix::dense::Dense;
 use crate::solver::cg::Cg;
@@ -26,6 +26,8 @@ pub struct MixedIr<VO: Value, VI: Value, Idx: Index = i32> {
     inner_iters: usize,
     criteria: Criteria,
     logger: ConvergenceLogger,
+    events: LoggerRegistry,
+    exec_events: LoggerRegistry,
 }
 
 impl<VO: Value, VI: Value, Idx: Index> MixedIr<VO, VI, Idx> {
@@ -50,13 +52,47 @@ impl<VO: Value, VI: Value, Idx: Index> MixedIr<VO, VI, Idx> {
             matrix.size(),
             &low_triplets,
         )?);
+        let events = LoggerRegistry::new();
+        let exec_events = exec.loggers().clone();
+        let logger = ConvergenceLogger::new();
+        logger.bind_events("solver::MixedIr", events.clone());
+        logger.bind_events("solver::MixedIr", exec_events.clone());
         Ok(MixedIr {
             outer: matrix,
             inner,
             inner_iters: 10,
             criteria: Criteria::default(),
-            logger: ConvergenceLogger::new(),
+            logger,
+            events,
+            exec_events,
         })
+    }
+
+    /// Attaches a logger observing this solver's outer iteration events.
+    pub fn with_logger(self, logger: Arc<dyn Logger>) -> Self {
+        self.events.add(logger);
+        self
+    }
+
+    /// Attaches a logger without consuming the solver.
+    pub fn add_logger(&self, logger: Arc<dyn Logger>) {
+        self.events.add(logger);
+    }
+
+    /// Criteria check that also emits [`Event::CriterionChecked`].
+    fn check(&self, iters_done: usize, res_norm: f64, baseline: f64) -> Option<StopReason> {
+        let stop = self.criteria.check(iters_done, res_norm, baseline);
+        if self.events.is_active() || self.exec_events.is_active() {
+            let event = Event::CriterionChecked {
+                solver: "solver::MixedIr",
+                iteration: iters_done,
+                residual: res_norm,
+                stop,
+            };
+            self.events.log(&event);
+            self.exec_events.log(&event);
+        }
+        stop
     }
 
     /// Sets the inner CG iteration budget per refinement step.
@@ -88,6 +124,7 @@ impl<VO: Value, VI: Value, Idx: Index> LinOp<VO> for MixedIr<VO, VI, Idx> {
 
     fn apply(&self, b: &Dense<VO>, x: &mut Dense<VO>) -> Result<()> {
         let exec = x.executor().clone();
+        let _solve_timer = OpTimer::new(&exec, self.op_name());
         let n = self.size().rows;
         let dim = Dim2::new(n, 1);
         let mut r = Dense::<VO>::zeros(&exec, dim);
@@ -98,7 +135,7 @@ impl<VO: Value, VI: Value, Idx: Index> LinOp<VO> for MixedIr<VO, VI, Idx> {
             .apply_advanced(VO::from_f64(-1.0), x, VO::one(), &mut r)?;
         let baseline = r.compute_norm2();
         self.logger.begin(baseline);
-        if let Some(reason) = self.criteria.check(0, baseline, baseline) {
+        if let Some(reason) = self.check(0, baseline, baseline) {
             self.logger.finish(0, reason);
             return Ok(());
         }
@@ -131,12 +168,10 @@ impl<VO: Value, VI: Value, Idx: Index> LinOp<VO> for MixedIr<VO, VI, Idx> {
                 .apply_advanced(VO::from_f64(-1.0), x, VO::one(), &mut r)?;
             res_norm = r.compute_norm2();
             self.logger.record_residual(iter, res_norm);
-            if let Some(reason) = self.criteria.check(iter, res_norm, baseline) {
+            // A non-finite residual stops here too: `check` reports it as
+            // Breakdown (the update already happened, so iter is counted).
+            if let Some(reason) = self.check(iter, res_norm, baseline) {
                 self.logger.finish(iter, reason);
-                return Ok(());
-            }
-            if !res_norm.is_finite() {
-                self.logger.finish(iter, StopReason::Breakdown);
                 return Ok(());
             }
         }

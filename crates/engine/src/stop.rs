@@ -79,7 +79,15 @@ impl Criteria {
     ///
     /// `baseline` is the initial residual norm. Returns `Some(reason)` when
     /// the iteration should stop.
+    ///
+    /// A non-finite residual norm (NaN or ±Inf) stops the iteration
+    /// immediately with [`StopReason::Breakdown`]: every float comparison
+    /// against NaN is false, so without this check a diverging solve would
+    /// silently burn `max_iters` iterations before giving up.
     pub fn check(&self, iters_done: usize, res_norm: f64, baseline: f64) -> Option<StopReason> {
+        if !res_norm.is_finite() {
+            return Some(StopReason::Breakdown);
+        }
         if let Some(tol) = self.abs_tolerance {
             if res_norm <= tol {
                 return Some(StopReason::AbsoluteResidual);
@@ -128,6 +136,27 @@ mod tests {
     fn absolute_tolerance_takes_priority() {
         let c = Criteria::iterations_and_reduction(100, 1e-3).with_abs_tolerance(1e-8);
         assert_eq!(c.check(1, 1e-9, 1.0), Some(StopReason::AbsoluteResidual));
+    }
+
+    #[test]
+    fn non_finite_residual_is_breakdown() {
+        // NaN/Inf must short-circuit every criterion, including the
+        // iteration limit: a diverged solve should stop now, not at
+        // max_iters.
+        for c in [
+            Criteria::default(),
+            Criteria::iterations(1000),
+            Criteria::iterations_and_reduction(1000, 1e-8).with_abs_tolerance(1e-12),
+        ] {
+            for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                assert_eq!(c.check(1, bad, 1.0), Some(StopReason::Breakdown));
+            }
+            // A non-finite baseline alone does not break the run down...
+            assert_eq!(c.check(1, 1.0, f64::NAN), None);
+        }
+        // ...and finite residuals still follow the normal rules.
+        let c = Criteria::iterations_and_reduction(10, 1e-3);
+        assert_eq!(c.check(1, 0.5, 1.0), None);
     }
 
     #[test]

@@ -92,6 +92,15 @@ fn parse_err(line: usize, message: impl Into<String>) -> MtxError {
     }
 }
 
+/// Upper bound on entries reserved up front from header-declared sizes
+/// (16M entries ≈ 384 MB of triplets). A malformed or hostile header can
+/// declare an absurd nnz; capping the speculative reservation keeps the
+/// parser from aborting on an over-large allocation before it has read a
+/// single entry — oversized files instead fail with a line-numbered count
+/// mismatch, and genuinely large files still grow geometrically past the
+/// cap.
+const RESERVE_CAP: usize = 1 << 24;
+
 /// Reads Matrix Market data from any reader.
 pub fn read_mtx<R: Read>(reader: R) -> Result<MtxData, MtxError> {
     let mut lines = BufReader::new(reader).lines();
@@ -183,7 +192,7 @@ pub fn read_mtx<R: Read>(reader: R) -> Result<MtxData, MtxError> {
     match format {
         MtxFormat::Coordinate => {
             let expected = declared_nnz.unwrap();
-            entries.reserve(expected * 2);
+            entries.reserve(expected.saturating_mul(2).min(RESERVE_CAP));
             let mut seen = 0usize;
             for l in lines {
                 line_no += 1;
@@ -258,7 +267,7 @@ pub fn read_mtx<R: Read>(reader: R) -> Result<MtxData, MtxError> {
                 MtxSymmetry::Symmetric => cols * (cols + 1) / 2,
                 MtxSymmetry::SkewSymmetric => cols * cols.saturating_sub(1) / 2,
             };
-            let mut values = Vec::with_capacity(expected);
+            let mut values = Vec::with_capacity(expected.min(RESERVE_CAP));
             for l in lines {
                 line_no += 1;
                 let l = l?;
@@ -488,6 +497,67 @@ mod tests {
                 "error {msg:?} should mention {needle:?}"
             );
         }
+    }
+
+    #[test]
+    fn out_of_range_index_reports_its_line_number() {
+        // The bad entry sits on line 4 (header, comment, size, entry).
+        let doc = "%%MatrixMarket matrix coordinate real general\n\
+                   % comment\n\
+                   2 2 2\n\
+                   3 1 1.0\n\
+                   1 1 1.0\n";
+        match read_mtx(doc.as_bytes()).unwrap_err() {
+            MtxError::Parse { line, message } => {
+                assert_eq!(line, 4, "{message}");
+                assert!(message.contains("(3, 1)"), "{message}");
+                assert!(message.contains("2x2"), "{message}");
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_few_tokens_on_entry_line_is_line_numbered() {
+        let doc = "%%MatrixMarket matrix coordinate real general\n\
+                   2 2 1\n\
+                   1 1\n";
+        match read_mtx(doc.as_bytes()).unwrap_err() {
+            MtxError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("too few"), "{message}");
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn index_overflowing_usize_is_a_bad_index_not_a_panic() {
+        // 2^64 does not fit in usize: the parse itself must fail cleanly.
+        let doc = "%%MatrixMarket matrix coordinate real general\n\
+                   2 2 1\n\
+                   18446744073709551616 1 1.0\n";
+        let msg = read_mtx(doc.as_bytes()).unwrap_err().to_string();
+        assert!(msg.contains("bad row index"), "{msg}");
+        assert!(msg.contains("line 3"), "{msg}");
+    }
+
+    #[test]
+    fn absurd_declared_nnz_fails_without_allocating_it() {
+        // Header declares ~2^63 entries; the capped reservation means this
+        // must fail with a count mismatch, not abort on allocation.
+        let doc = "%%MatrixMarket matrix coordinate real general\n\
+                   2 2 9223372036854775807\n\
+                   1 1 1.0\n";
+        let msg = read_mtx(doc.as_bytes()).unwrap_err().to_string();
+        assert!(msg.contains("found 1"), "{msg}");
+
+        // Same for the array layout's rows*cols reservation.
+        let doc = "%%MatrixMarket matrix array real general\n\
+                   4000000000 4000000000\n\
+                   1.0\n";
+        let msg = read_mtx(doc.as_bytes()).unwrap_err().to_string();
+        assert!(msg.contains("found 1"), "{msg}");
     }
 
     #[test]

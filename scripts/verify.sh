@@ -1,12 +1,16 @@
 #!/usr/bin/env sh
-# Offline verification gate: release build, full test suite, and lint-clean
-# clippy. Run from anywhere; operates on the workspace containing this script.
+# Offline verification gate: warning-free release build, full test suite,
+# lint-clean clippy, and one wall-clock benchmark smoke run. Run from
+# anywhere; operates on the workspace containing this script.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline --workspace
+RUSTFLAGS="-D warnings" cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Smoke-run a real benchmark binary end to end (quick suite).
+PYGKO_BENCH_QUICK=1 cargo run --release --offline -p pygko-bench --bin micro_spmv
 
 echo "verify: OK"
