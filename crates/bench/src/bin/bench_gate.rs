@@ -1,0 +1,186 @@
+//! Benchmark regression gate: diffs `results/BENCH_spmv.json` against the
+//! committed `results/BASELINE_spmv.json` and exits nonzero on slowdown.
+//!
+//! Both files are written by `spmv_formats` (virtual-time fields are
+//! deterministic, so an honest rerun reproduces the baseline exactly) and
+//! parsed back with the engine's own JSON parser. Every baseline record,
+//! keyed by `(matrix, format, strategy, executor)`, must be present in the
+//! candidate and satisfy
+//!
+//! ```text
+//! candidate.virtual_seconds <= tolerance * baseline.virtual_seconds
+//! ```
+//!
+//! and the same band is applied to each kernel's `virtual_p99_ns` in the
+//! per-executor metrics sections. Missing records fail the gate, so a
+//! format or executor silently dropped from the sweep is caught too.
+//!
+//! Environment knobs:
+//!
+//! * `BENCH_GATE_TOLERANCE` — allowed slowdown ratio (default 1.25). The
+//!   virtual clock is deterministic, but the band leaves room for honest
+//!   cost-model retuning; raise it deliberately when the model changes.
+//! * `BENCH_GATE_INJECT` — multiplies every candidate timing, simulating a
+//!   uniform slowdown. `BENCH_GATE_INJECT=2.0` must make the gate fail —
+//!   `scripts/check_bench.sh` uses this as a self-test of the gate itself.
+//!
+//! Usage: `bench_gate [baseline.json [candidate.json]]` (both default to
+//! the `results/` directory).
+
+use gko::config::Config;
+use pygko_bench::results_dir;
+use std::path::PathBuf;
+
+/// One comparable timing: identity key, baseline value, candidate value.
+struct Check {
+    key: String,
+    metric: &'static str,
+    baseline: f64,
+    candidate: f64,
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("bench_gate: bad {name}='{v}' (expected a number)");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn load(path: &PathBuf) -> Config {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot read {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    Config::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {} is not valid JSON: {e}", path.display());
+        std::process::exit(2);
+    })
+}
+
+fn str_field(c: &Config, key: &str) -> String {
+    c.get(key)
+        .and_then(Config::as_str)
+        .unwrap_or_default()
+        .to_string()
+}
+
+/// Flattens a document into `(key, metric, value)` rows: one
+/// `virtual_seconds` per timing record and one `virtual_p99_ns` per
+/// (executor, kernel) metrics entry.
+fn flatten(doc: &Config) -> Vec<(String, &'static str, f64)> {
+    let mut rows = Vec::new();
+    for r in doc.get("records").and_then(Config::as_array).unwrap_or(&[]) {
+        let key = format!(
+            "{}/{}/{}/{}",
+            str_field(r, "matrix"),
+            str_field(r, "format"),
+            str_field(r, "strategy"),
+            str_field(r, "executor"),
+        );
+        if let Some(secs) = r.get("virtual_seconds").and_then(Config::as_float) {
+            rows.push((key, "virtual_seconds", secs));
+        }
+    }
+    for m in doc.get("metrics").and_then(Config::as_array).unwrap_or(&[]) {
+        let exec = str_field(m, "executor");
+        for k in m.get("kernels").and_then(Config::as_array).unwrap_or(&[]) {
+            let key = format!("metrics/{exec}/{}", str_field(k, "op"));
+            if let Some(p99) = k.get("virtual_p99_ns").and_then(Config::as_float) {
+                rows.push((key, "virtual_p99_ns", p99));
+            }
+        }
+    }
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_path = args
+        .get(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("BASELINE_spmv.json"));
+    let candidate_path = args
+        .get(2)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("BENCH_spmv.json"));
+    let tolerance = env_f64("BENCH_GATE_TOLERANCE", 1.25);
+    let inject = env_f64("BENCH_GATE_INJECT", 1.0);
+
+    println!(
+        "bench_gate: {} vs {} (tolerance {tolerance}x{})",
+        candidate_path.display(),
+        baseline_path.display(),
+        if inject != 1.0 {
+            format!(", injected slowdown {inject}x")
+        } else {
+            String::new()
+        }
+    );
+
+    let baseline = flatten(&load(&baseline_path));
+    let candidate = flatten(&load(&candidate_path));
+    if baseline.is_empty() {
+        eprintln!("bench_gate: baseline has no comparable rows");
+        std::process::exit(2);
+    }
+
+    let mut checks: Vec<Check> = Vec::new();
+    let mut missing: Vec<String> = Vec::new();
+    for (key, metric, base) in baseline {
+        match candidate
+            .iter()
+            .find(|(k, m, _)| *k == key && *m == metric)
+        {
+            None => missing.push(format!("{key} [{metric}]")),
+            Some(&(_, _, cand)) => checks.push(Check {
+                key,
+                metric,
+                baseline: base,
+                candidate: cand * inject,
+            }),
+        }
+    }
+
+    let mut regressions: Vec<&Check> = Vec::new();
+    for c in &checks {
+        // A zero baseline (e.g. the reference executor's pool counters)
+        // only requires the candidate to stay zero-ish within tolerance of
+        // nothing: treat any positive candidate against a zero baseline as
+        // equal — those rows carry no timing signal.
+        let ok = if c.baseline == 0.0 {
+            true
+        } else {
+            c.candidate <= tolerance * c.baseline
+        };
+        if !ok {
+            regressions.push(c);
+        }
+    }
+
+    println!(
+        "bench_gate: {} rows compared, {} missing, {} regressed",
+        checks.len(),
+        missing.len(),
+        regressions.len()
+    );
+    for m in &missing {
+        eprintln!("  MISSING   {m}");
+    }
+    for c in &regressions {
+        eprintln!(
+            "  REGRESSED {} [{}]: {:.3e} -> {:.3e} ({:.2}x > {tolerance}x allowed)",
+            c.key,
+            c.metric,
+            c.baseline,
+            c.candidate,
+            c.candidate / c.baseline
+        );
+    }
+    if !missing.is_empty() || !regressions.is_empty() {
+        std::process::exit(1);
+    }
+    println!("bench_gate: OK");
+}

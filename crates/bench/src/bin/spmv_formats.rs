@@ -4,19 +4,26 @@
 //! executors with 1/2/4/8/16 threads, on a large (~1.8M-nnz) Poisson
 //! matrix, and writes `results/BENCH_spmv.json` with deterministic
 //! virtual-time GFLOP/s, the speedup over the reference executor, the
-//! worker-pool counters (dispatches, chunks, steals, mean wall-clock
-//! nanoseconds per kernel dispatch), and — via a [`Profiler`] attached to
-//! each executor — the per-kernel call/time aggregates of the whole sweep.
+//! worker-pool counters (dispatches, chunks, steals, and
+//! `pool_ns_per_dispatch` — mean wall-clock nanoseconds a dispatch spends
+//! inside the pool, chunk execution included), and — via a [`Profiler`] and
+//! the metrics registry attached to each executor — the per-kernel
+//! call/time aggregates and virtual-latency quantiles of the whole sweep.
+//!
+//! The JSON is built as a [`gko::config::Config`] tree and serialized with
+//! the engine's own serializer, so `bench_gate` can parse it back with the
+//! same code. Virtual-time fields are deterministic; committing the output
+//! as `results/BASELINE_spmv.json` gives the regression gate its reference.
 //!
 //! `cargo run --release -p pygko-bench --bin spmv_formats`
 
+use gko::config::Config;
 use gko::linop::LinOp;
 use gko::log::{Profiler, ProfilerSummary};
 use gko::matrix::{Coo, Csr, Dense, Ell, Hybrid, Sellp, SpmvStrategy};
-use gko::{Dim2, Executor};
+use gko::{Dim2, Executor, MetricsSnapshot};
 use pygko_bench::{fmt, gflops, quick_mode, results_dir, Report};
 use pygko_matgen::generators::poisson2d;
-use std::fmt::Write as _;
 use std::sync::Arc;
 
 struct Record {
@@ -30,7 +37,7 @@ struct Record {
     dispatches: u64,
     chunks: u64,
     steals: u64,
-    dispatch_overhead_ns: f64,
+    pool_ns_per_dispatch: f64,
 }
 
 /// One timed apply of `op` on `exec`; returns virtual seconds plus the pool
@@ -72,11 +79,14 @@ fn main() {
 
     let mut records: Vec<Record> = Vec::new();
     // One profiler per executor observes every kernel of that executor's
-    // sweep (including warm-up applies and format conversions).
+    // sweep (including warm-up applies and format conversions); the metrics
+    // registry additionally folds the same stream into latency histograms.
     let mut profiles: Vec<(String, usize, ProfilerSummary)> = Vec::new();
+    let mut metrics: Vec<(String, usize, MetricsSnapshot)> = Vec::new();
     for (name, threads, exec) in &executors {
         let profiler = Arc::new(Profiler::new());
         exec.add_logger(profiler.clone());
+        exec.enable_metrics();
         let csr = Csr::<f64, i32>::from_triplets(exec, dim, &gen.triplets).unwrap();
         let b = Dense::<f64>::vector(exec, gen.cols, 1.0);
         let mut x = Dense::zeros(exec, Dim2::new(gen.rows, 1));
@@ -95,7 +105,7 @@ fn main() {
                 dispatches: stats.dispatches,
                 chunks: stats.chunks,
                 steals: stats.steals,
-                dispatch_overhead_ns: if stats.dispatches == 0 {
+                pool_ns_per_dispatch: if stats.dispatches == 0 {
                     0.0
                 } else {
                     stats.dispatch_ns as f64 / stats.dispatches as f64
@@ -111,6 +121,11 @@ fn main() {
         push("sellp", "slice_parallel", &Sellp::from_csr(&csr), &mut x);
         push("hybrid", "ell+coo", &Hybrid::from_csr(&csr), &mut x);
         profiles.push((name.clone(), *threads, profiler.summary()));
+        metrics.push((
+            name.clone(),
+            *threads,
+            exec.metrics_snapshot().expect("metrics enabled"),
+        ));
         exec.clear_loggers();
     }
 
@@ -145,7 +160,7 @@ fn main() {
             r.dispatches.to_string(),
             r.chunks.to_string(),
             r.steals.to_string(),
-            fmt(r.dispatch_overhead_ns),
+            fmt(r.pool_ns_per_dispatch),
         ]);
     }
     report.print();
@@ -169,72 +184,91 @@ fn main() {
         );
     }
 
-    // Hand-rolled JSON (the workspace carries no serialization dependency):
-    // timing records plus each executor's profiler telemetry.
-    let mut json = String::from("{\n\"records\": [\n");
-    for (i, r) in records.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "  {{\"matrix\": \"poisson2d_{grid}\", \"nnz\": {nnz}, \
-             \"format\": \"{}\", \"strategy\": \"{}\", \"executor\": \"{}\", \
-             \"threads\": {}, \"virtual_seconds\": {:e}, \"gflops\": {:.6}, \
-             \"speedup_vs_reference\": {:.6}, \"pool_dispatches\": {}, \
-             \"pool_chunks\": {}, \"pool_steals\": {}, \
-             \"dispatch_overhead_ns\": {:.1}}}{}",
-            r.format,
-            r.strategy,
-            r.executor,
-            r.threads,
-            r.seconds,
-            r.gflops,
-            r.speedup,
-            r.dispatches,
-            r.chunks,
-            r.steals,
-            r.dispatch_overhead_ns,
-            if i + 1 == records.len() { "" } else { "," }
-        );
-    }
-    json.push_str("],\n\"profiles\": [\n");
-    for (i, (name, threads, summary)) in profiles.iter().enumerate() {
-        let _ = write!(
-            json,
-            "  {{\"executor\": \"{name}\", \"threads\": {threads}, \
-             \"pool_dispatches\": {}, \"pool_chunks\": {}, \
-             \"pool_steals\": {}, \"allocations\": {}, \
-             \"allocated_bytes\": {}, \"kernels\": [",
-            summary.pool_dispatches,
-            summary.pool_chunks,
-            summary.pool_steals,
-            summary.allocations,
-            summary.allocated_bytes
-        );
-        for (j, k) in summary.kernels.iter().enumerate() {
-            let _ = write!(
-                json,
-                "{}{{\"op\": \"{}\", \"calls\": {}, \"wall_ns\": {}, \
-                 \"virtual_ns\": {}, \"self_wall_ns\": {}, \
-                 \"self_virtual_ns\": {}}}",
-                if j == 0 { "" } else { ", " },
-                k.op,
-                k.calls,
-                k.wall_ns,
-                k.virtual_ns,
-                k.self_wall_ns,
-                k.self_virtual_ns
-            );
-        }
-        let _ = writeln!(
-            json,
-            "]}}{}",
-            if i + 1 == profiles.len() { "" } else { "," }
-        );
-    }
-    json.push_str("]\n}\n");
+    // JSON via the engine's own Config tree + serializer (the workspace
+    // carries no serialization dependency): timing records, each executor's
+    // profiler telemetry, and the metrics-registry quantile summaries.
+    let record_json: Vec<Config> = records
+        .iter()
+        .map(|r| {
+            Config::map()
+                .with("matrix", format!("poisson2d_{grid}"))
+                .with("nnz", nnz)
+                .with("format", r.format)
+                .with("strategy", r.strategy)
+                .with("executor", r.executor.as_str())
+                .with("threads", r.threads)
+                .with("virtual_seconds", r.seconds)
+                .with("gflops", r.gflops)
+                .with("speedup_vs_reference", r.speedup)
+                .with("pool_dispatches", r.dispatches as i64)
+                .with("pool_chunks", r.chunks as i64)
+                .with("pool_steals", r.steals as i64)
+                .with("pool_ns_per_dispatch", r.pool_ns_per_dispatch)
+        })
+        .collect();
+    let profile_json: Vec<Config> = profiles
+        .iter()
+        .map(|(name, threads, summary)| {
+            let kernels: Vec<Config> = summary
+                .kernels
+                .iter()
+                .map(|k| {
+                    Config::map()
+                        .with("op", k.op)
+                        .with("calls", k.calls as i64)
+                        .with("wall_ns", k.wall_ns as i64)
+                        .with("virtual_ns", k.virtual_ns as i64)
+                        .with("self_wall_ns", k.self_wall_ns as i64)
+                        .with("self_virtual_ns", k.self_virtual_ns as i64)
+                })
+                .collect();
+            Config::map()
+                .with("executor", name.as_str())
+                .with("threads", *threads)
+                .with("pool_dispatches", summary.pool_dispatches as i64)
+                .with("pool_chunks", summary.pool_chunks as i64)
+                .with("pool_steals", summary.pool_steals as i64)
+                .with("allocations", summary.allocations as i64)
+                .with("allocated_bytes", summary.allocated_bytes as i64)
+                .with("kernels", kernels)
+        })
+        .collect();
+    // Virtual-time quantiles only: wall-clock quantiles vary run to run and
+    // would make the committed baseline undiffable.
+    let metrics_json: Vec<Config> = metrics
+        .iter()
+        .map(|(name, threads, snap)| {
+            let kernels: Vec<Config> = snap
+                .kernels
+                .iter()
+                .map(|k| {
+                    Config::map()
+                        .with("op", k.op.as_str())
+                        .with("calls", k.calls as i64)
+                        .with("virtual_p50_ns", k.virtual_ns.p50() as i64)
+                        .with("virtual_p95_ns", k.virtual_ns.p95() as i64)
+                        .with("virtual_p99_ns", k.virtual_ns.p99() as i64)
+                        .with("virtual_max_ns", k.virtual_ns.max as i64)
+                })
+                .collect();
+            Config::map()
+                .with("executor", name.as_str())
+                .with("threads", *threads)
+                .with("events", snap.events as i64)
+                .with("pool_dispatches", snap.pool_dispatch_ns.count as i64)
+                .with("allocations", snap.alloc_bytes.count as i64)
+                .with("kernels", kernels)
+        })
+        .collect();
+    let doc = Config::map()
+        .with("records", record_json)
+        .with("profiles", profile_json)
+        .with("metrics", metrics_json);
+
     let dir = results_dir();
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join("BENCH_spmv.json");
-    std::fs::write(&path, json).expect("write json");
+    std::fs::write(&path, gko::config::json::to_string_pretty(&doc)).expect("write json");
     println!("\nwrote {}", path.display());
 
     // Headline check: parallel CSR and COO beat the serial reference by 2x.

@@ -12,6 +12,8 @@
 //! * `PYGKO_SOLVER_ITERS` — iterations for the fixed-iteration solver
 //!   benchmarks (default 200; the paper used 1000 — the metric is time per
 //!   iteration, so the count only affects noise, which we do not have).
+//! * `PYGKO_RESULTS_DIR` — redirect all benchmark output files away from the
+//!   committed `results/` directory (used by `scripts/verify.sh` smoke runs).
 
 #![warn(missing_docs)]
 
@@ -158,8 +160,13 @@ impl Report {
     }
 }
 
-/// The workspace `results/` directory.
+/// The directory benchmark outputs are written to: `PYGKO_RESULTS_DIR` when
+/// set (smoke runs point it at a scratch directory so they never clobber the
+/// committed `results/`), otherwise the workspace `results/` directory.
 pub fn results_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("PYGKO_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
     // CARGO_MANIFEST_DIR = crates/bench; results live at the workspace root.
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -190,6 +197,19 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text, "a,b\n1,2\n");
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn results_dir_honors_env_override() {
+        // Env vars are process-global: take care to restore.
+        let prev = std::env::var_os("PYGKO_RESULTS_DIR");
+        std::env::set_var("PYGKO_RESULTS_DIR", "/tmp/pygko-results-test");
+        let dir = results_dir();
+        match prev {
+            Some(v) => std::env::set_var("PYGKO_RESULTS_DIR", v),
+            None => std::env::remove_var("PYGKO_RESULTS_DIR"),
+        }
+        assert_eq!(dir, PathBuf::from("/tmp/pygko-results-test"));
     }
 
     #[test]

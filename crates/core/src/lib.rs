@@ -66,6 +66,7 @@ pub use conv::conv2d;
 pub use device::{device, device_with_id, Device};
 pub use dtype::{DType, IndexType};
 pub use error::{PyGinkgoError, PyResult};
+pub use gko::{HistogramSnapshot, MetricsSnapshot};
 pub use logger::{Logger, LoggerData, ProfileEntry};
 pub use matrix::{MatrixFormat, SparseMatrix};
 pub use read::{read, write};

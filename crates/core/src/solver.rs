@@ -16,7 +16,7 @@ use crate::tensor::{Tensor, TensorData};
 use gko::log::{ConvergenceLogger, Profiler, Record, SharedBuf, Stream};
 use gko::solver::{BiCgStab, Cg, Cgs, Direct, Gmres, LowerTrs, UpperTrs};
 use gko::stop::Criteria;
-use gko::{LinOp, Value};
+use gko::{LinOp, MetricsRegistry, MetricsSnapshot, Value};
 use pygko_half::Half;
 use std::sync::Arc;
 
@@ -35,6 +35,7 @@ struct AttachedLoggers {
     record: Option<Arc<Record>>,
     stream: Option<SharedBuf>,
     profiler: Option<Arc<Profiler>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 /// A ready-to-apply solver bound to a device.
@@ -61,16 +62,33 @@ impl Solver {
     /// Attaches an event logger of the given kind — pyGinkgo's
     /// `solver.with_logger("record")` surface over Ginkgo's `add_logger`.
     ///
-    /// Kinds: `"record"` keeps a bounded in-memory event history,
-    /// `"stream"` renders events to an internal text buffer, and
-    /// `"profile"` aggregates per-kernel timings and pool counters. The
-    /// logger is attached to the *device executor*, so it observes kernel
-    /// launches, allocations, and pool dispatches of every operation on
-    /// this device alongside this solver's iteration events. Kinds may be
-    /// combined by chaining calls; read results via [`Solver::logger_data`].
+    /// Kinds: `"record"` keeps a bounded in-memory event history
+    /// (`"record:N"` bounds it at `N` events; overflow is counted in
+    /// [`LoggerData::dropped_events`], never silently lost), `"stream"`
+    /// renders events to an internal text buffer, `"profile"` aggregates
+    /// per-kernel timings and pool counters, and `"metrics"` attaches the
+    /// device executor's [`MetricsRegistry`] (latency histograms with
+    /// p50/p95/p99, Prometheus and Chrome-trace exporters — read it back
+    /// with [`Solver::metrics`]). The logger is attached to the *device
+    /// executor*, so it observes kernel launches, allocations, and pool
+    /// dispatches of every operation on this device alongside this solver's
+    /// iteration events. Kinds may be combined by chaining calls; read
+    /// results via [`Solver::logger_data`].
     pub fn with_logger(mut self, kind: &str) -> PyResult<Self> {
         let exec = self.device.executor();
-        match kind.to_ascii_lowercase().as_str() {
+        let kind = kind.to_ascii_lowercase();
+        if let Some(spec) = kind.strip_prefix("record:") {
+            let capacity: usize = spec.parse().ok().filter(|&c| c > 0).ok_or_else(|| {
+                PyGinkgoError::Value(format!(
+                    "bad record capacity '{spec}' (expected record:<positive integer>)"
+                ))
+            })?;
+            let record = Arc::new(Record::with_capacity(capacity));
+            exec.add_logger(record.clone());
+            self.attached.record = Some(record);
+            return Ok(self);
+        }
+        match kind.as_str() {
             "record" => {
                 let record = Arc::new(Record::new());
                 exec.add_logger(record.clone());
@@ -86,13 +104,27 @@ impl Solver {
                 exec.add_logger(profiler.clone());
                 self.attached.profiler = Some(profiler);
             }
+            "metrics" => {
+                self.attached.metrics = Some(exec.enable_metrics());
+            }
             other => {
                 return Err(PyGinkgoError::Value(format!(
-                    "unknown logger kind '{other}' (expected record, stream, or profile)"
+                    "unknown logger kind '{other}' \
+                     (expected record, record:N, stream, profile, or metrics)"
                 )))
             }
         }
         Ok(self)
+    }
+
+    /// Snapshot of the metrics registry attached via
+    /// `with_logger("metrics")`: per-kernel call counts and latency
+    /// quantiles, solver iteration counters, pool-dispatch and allocation
+    /// histograms, and the trace spans behind
+    /// [`MetricsSnapshot::to_chrome_trace`]. `None` until the metrics
+    /// logger is attached.
+    pub fn metrics(&self) -> Option<MetricsSnapshot> {
+        self.attached.metrics.as_ref().map(|m| m.snapshot())
     }
 
     /// Snapshot of everything the attached loggers have observed so far.
@@ -658,6 +690,81 @@ mod tests {
             plain.with_logger("tracing"),
             Err(PyGinkgoError::Value(_))
         ));
+    }
+
+    #[test]
+    fn record_overflow_is_observable_not_silent() {
+        let dev = device("reference").unwrap();
+        let mtx = spd(&dev, 32, "double");
+        // A CG solve on a 32x32 system emits far more than 8 events.
+        let solver = cg(&dev, &mtx, None, 200, 1e-9)
+            .unwrap()
+            .with_logger("record:8")
+            .unwrap();
+        let b = as_tensor_fill(&dev, (32, 1), "double", 1.0).unwrap();
+        let mut x = as_tensor_fill(&dev, (32, 1), "double", 0.0).unwrap();
+        solver.apply(&b, &mut x).unwrap();
+
+        let data = solver.logger_data();
+        assert_eq!(data.events.len(), 8, "capacity bounds the history");
+        assert!(
+            data.dropped_events > 0,
+            "overflow must surface in dropped_events"
+        );
+
+        // Malformed capacities are rejected up front.
+        for bad in ["record:", "record:0", "record:many"] {
+            let plain = cg(&dev, &mtx, None, 10, 1e-9).unwrap();
+            assert!(
+                matches!(plain.with_logger(bad), Err(PyGinkgoError::Value(_))),
+                "{bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_logger_reports_per_kernel_quantiles() {
+        let dev = device("reference").unwrap();
+        let mtx = spd(&dev, 64, "double");
+        let solver = cg(&dev, &mtx, None, 500, 1e-10)
+            .unwrap()
+            .with_logger("metrics")
+            .unwrap();
+        assert!(solver.metrics().is_some(), "snapshot available pre-solve");
+
+        let b = as_tensor_fill(&dev, (64, 1), "double", 1.0).unwrap();
+        let mut x = as_tensor_fill(&dev, (64, 1), "double", 0.0).unwrap();
+        let log = solver.apply(&b, &mut x).unwrap();
+        assert!(log.converged());
+
+        let snap = solver.metrics().unwrap();
+        // Per-kernel counts and latency quantiles for a CG solve.
+        for op in ["csr", "dense::dot", "solver::Cg"] {
+            let k = snap.kernel(op).unwrap_or_else(|| panic!("missing {op}"));
+            assert!(k.calls > 0, "{op}");
+            assert!(
+                k.wall_ns.p50() <= k.wall_ns.p95()
+                    && k.wall_ns.p95() <= k.wall_ns.p99()
+                    && k.wall_ns.p99() <= k.wall_ns.max,
+                "{op} quantiles out of order"
+            );
+        }
+        // One SpMV per iteration plus the initial residual `r = b - A x`.
+        assert!(snap.kernel("csr").unwrap().calls >= log.iterations() as u64);
+        assert_eq!(
+            snap.solver_iterations,
+            vec![("solver::Cg".to_string(), log.iterations() as u64)]
+        );
+        assert_eq!(snap.solves, 1);
+        assert!(snap.alloc_bytes.count > 0);
+
+        // Both exporters render from the same snapshot.
+        assert!(snap.to_prometheus().contains("gko_kernel_calls_total{op=\"csr\"}"));
+        assert!(snap.to_chrome_trace().starts_with("{\"traceEvents\":["));
+
+        // The same registry is also visible executor-wide.
+        let exec_snap = dev.executor().metrics_snapshot().unwrap();
+        assert_eq!(exec_snap.events, snap.events);
     }
 
     #[test]

@@ -16,6 +16,55 @@ pub fn to_string(config: &Config) -> String {
     out
 }
 
+/// Serializes a config tree to indented JSON (2-space indent), for
+/// human-diffable committed artifacts like the benchmark result files.
+pub fn to_string_pretty(config: &Config) -> String {
+    let mut out = String::new();
+    write_value_pretty(config, &mut out, 0);
+    out.push('\n');
+    out
+}
+
+fn write_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_value_pretty(config: &Config, out: &mut String, depth: usize) {
+    match config {
+        Config::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                write_indent(out, depth + 1);
+                write_value_pretty(item, out, depth + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            write_indent(out, depth);
+            out.push(']');
+        }
+        Config::Map(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in map.iter().enumerate() {
+                write_indent(out, depth + 1);
+                write_string(k, out);
+                out.push_str(": ");
+                write_value_pretty(v, out, depth + 1);
+                if i + 1 < map.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            write_indent(out, depth);
+            out.push('}');
+        }
+        other => write_value(other, out),
+    }
+}
+
 fn write_value(config: &Config, out: &mut String) {
     match config {
         Config::Null => out.push_str("null"),
@@ -341,6 +390,15 @@ mod tests {
             crit[1].get("reduction_factor").unwrap().as_float(),
             Some(1e-6)
         );
+    }
+
+    #[test]
+    fn pretty_roundtrip_preserves_structure() {
+        let doc = r#"{"a":[1,2.5,true,null,"s"],"b":{"c":-7},"empty":[],"none":{}}"#;
+        let cfg = parse(doc).unwrap();
+        let pretty = to_string_pretty(&cfg);
+        assert!(pretty.contains("\n  \"a\": [\n"), "{pretty}");
+        assert_eq!(parse(&pretty).unwrap(), cfg);
     }
 
     #[test]

@@ -17,10 +17,11 @@
 pub mod pool;
 
 use crate::log::{Event, Logger, LoggerRegistry};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use pool::{PoolStats, WorkerPool};
 use pygko_sim::{ChunkWork, DeviceKind, DeviceSpec, Timeline};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Upper bound on OS threads an executor will drive, regardless of how many
 /// workers the device model has. GPU specs model hundreds of schedulable
@@ -67,6 +68,10 @@ struct Inner {
     pool: OnceLock<Option<WorkerPool>>,
     /// Loggers attached to this executor (shared by all handle clones).
     loggers: LoggerRegistry,
+    /// The metrics registry enabled via [`Executor::enable_metrics`], if
+    /// any. Kept here (in addition to its logger attachment) so snapshots
+    /// can be read back without holding onto the `Arc` at the call site.
+    metrics: Mutex<Option<Arc<MetricsRegistry>>>,
 }
 
 /// A cheaply-cloneable handle to an execution resource.
@@ -89,6 +94,7 @@ impl Executor {
             peak_bytes: AtomicU64::new(0),
             pool: OnceLock::new(),
             loggers: LoggerRegistry::new(),
+            metrics: Mutex::new(None),
         }))
     }
 
@@ -258,9 +264,65 @@ impl Executor {
         self.0.loggers.add(logger);
     }
 
-    /// Detaches every logger from this executor.
+    /// Detaches every logger from this executor (including a metrics
+    /// registry enabled via [`Executor::enable_metrics`]).
     pub fn clear_loggers(&self) {
         self.0.loggers.clear();
+        *self
+            .0
+            .metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = None;
+    }
+
+    /// Enables the engine-wide metrics registry on this executor: creates a
+    /// [`MetricsRegistry`] (with span tracing), attaches it to the logger
+    /// registry, and returns it. Idempotent — repeated calls return the
+    /// already-enabled registry. While enabled, every instrumented kernel,
+    /// solver iteration, allocation, and pool dispatch on this executor is
+    /// aggregated; when no registry (or other logger) is attached the
+    /// instrumented fast path still costs a single relaxed atomic load.
+    pub fn enable_metrics(&self) -> Arc<MetricsRegistry> {
+        let mut slot = self
+            .0
+            .metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(existing) = slot.as_ref() {
+            return existing.clone();
+        }
+        let registry = Arc::new(MetricsRegistry::new());
+        self.0.loggers.add(registry.clone());
+        *slot = Some(registry.clone());
+        registry
+    }
+
+    /// Detaches and drops the metrics registry, if one was enabled.
+    pub fn disable_metrics(&self) {
+        let mut slot = self
+            .0
+            .metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(registry) = slot.take() {
+            let as_logger: Arc<dyn Logger> = registry;
+            self.0.loggers.remove(&as_logger);
+        }
+    }
+
+    /// The metrics registry enabled on this executor, if any.
+    pub fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        self.0
+            .metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Immutable snapshot of this executor's metrics ([`None`] until
+    /// [`Executor::enable_metrics`] is called).
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.metrics().map(|m| m.snapshot())
     }
 
     /// Records an allocation in the memory accountant.

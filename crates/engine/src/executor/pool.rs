@@ -448,6 +448,7 @@ where
             chunks: delta.chunks,
             steals: delta.steals,
             threads: pool.threads(),
+            wall_ns: delta.dispatch_ns,
         });
     }
 }

@@ -19,7 +19,9 @@
 //!   direct solver.
 //! * **Preconditioners** ([`preconditioner`]): scalar and block Jacobi, ILU,
 //!   and IC, backed by the [`factorization`] module's ILU(0)/IC(0).
-//! * **Stopping criteria** ([`stop`]) and **loggers** ([`log`]).
+//! * **Stopping criteria** ([`stop`]), **loggers** ([`log`]), and the
+//!   always-on **metrics registry** ([`metrics`]: latency histograms,
+//!   Prometheus/Chrome-trace exporters).
 //! * **The config solver** ([`config`], paper §5): a generic entry point that
 //!   builds arbitrary solver/preconditioner pipelines from a JSON-style
 //!   configuration tree, with a from-scratch JSON parser/serializer.
@@ -33,6 +35,7 @@ pub mod factorization;
 pub mod linop;
 pub mod log;
 pub mod matrix;
+pub mod metrics;
 pub mod preconditioner;
 pub mod solver;
 pub mod stop;
@@ -44,3 +47,4 @@ pub use base::types::{Index, Value};
 pub use executor::pool::PoolStats;
 pub use executor::Executor;
 pub use linop::LinOp;
+pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};

@@ -104,6 +104,9 @@ pub enum Event {
         steals: u64,
         /// Pool lanes (including the submitting thread).
         threads: usize,
+        /// Host wall-clock nanoseconds the dispatch spent inside the pool
+        /// (publication, chunk execution, and the completion handshake).
+        wall_ns: u64,
     },
 }
 
@@ -147,9 +150,10 @@ impl fmt::Display for Event {
                 chunks,
                 steals,
                 threads,
+                wall_ns,
             } => write!(
                 f,
-                "pool dispatch: {chunks} chunks, {steals} steals, {threads} lanes"
+                "pool dispatch: {chunks} chunks, {steals} steals, {threads} lanes, {wall_ns}ns"
             ),
         }
     }
@@ -1050,6 +1054,7 @@ mod tests {
             chunks: 8,
             steals: 2,
             threads: 4,
+            wall_ns: 100,
         });
         profiler.on_event(&Event::AllocationComplete { bytes: 256 });
         profiler.on_event(&Event::IterationComplete {

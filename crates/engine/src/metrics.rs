@@ -1,0 +1,958 @@
+//! Always-on aggregated metrics: counters, latency histograms, trace spans.
+//!
+//! [`crate::log`] gives the engine a raw event stream; this module gives it
+//! the layer a production deployment actually watches. A
+//! [`MetricsRegistry`] is an ordinary [`Logger`] — attach it to an
+//! executor's [`crate::log::LoggerRegistry`] and every instrumented kernel,
+//! solver iteration, allocation, and pool dispatch is folded into
+//!
+//! * **sharded relaxed-atomic counters** (one cache line per shard, so
+//!   concurrent lanes never bounce a counter line between cores),
+//! * **log2-bucketed latency histograms** per kernel kind (SpMV per format,
+//!   dense BLAS, solver applies), for pool-dispatch latency, and for
+//!   allocation sizes — each answering p50/p95/p99/max queries, and
+//! * an optional bounded **trace buffer** of completed spans rebuilt from
+//!   `LinOpApplyStarted`/`Completed` pairs, exportable as a
+//!   `chrome://tracing` / Perfetto-loadable JSON document.
+//!
+//! Reading happens through an immutable [`MetricsSnapshot`], which renders
+//! itself as Prometheus text exposition ([`MetricsSnapshot::to_prometheus`])
+//! or a Chrome trace ([`MetricsSnapshot::to_chrome_trace`]).
+//!
+//! The fast path is unchanged: when no registry (or any other logger) is
+//! attached, instrumented sites still pay exactly one relaxed atomic load
+//! (see [`crate::log::LoggerRegistry::is_active`]); a registry that exists
+//! but is not attached records nothing.
+
+use crate::log::{Event, Logger};
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Sharding
+// ---------------------------------------------------------------------------
+
+/// Number of independent shards behind every [`ShardedCounter`] and
+/// [`LatencyHistogram`]. Each thread hashes to one shard, so up to this many
+/// lanes update metrics without sharing a cache line.
+pub const METRIC_SHARDS: usize = 8;
+
+/// One cache line holding one shard's counter.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+thread_local! {
+    /// Stable per-thread shard assignment, handed out round-robin on first
+    /// metric touch so lanes spread evenly over the shards.
+    static THREAD_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+fn thread_shard() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    THREAD_SHARD.with(|cell| {
+        let mut v = cell.get();
+        if v == usize::MAX {
+            v = NEXT.fetch_add(1, Ordering::Relaxed);
+            cell.set(v);
+        }
+        v % METRIC_SHARDS
+    })
+}
+
+/// A monotonically increasing counter sharded over [`METRIC_SHARDS`] cache
+/// lines. Increments are relaxed atomics on the calling thread's home
+/// shard; reads sum all shards (and may race with concurrent increments,
+/// which is fine for monitoring).
+#[derive(Default)]
+pub struct ShardedCounter {
+    shards: [PaddedU64; METRIC_SHARDS],
+}
+
+impl ShardedCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        ShardedCounter::default()
+    }
+
+    /// Adds `v` to the calling thread's shard.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.shards[thread_shard()].0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Sum over all shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for ShardedCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ShardedCounter").field(&self.get()).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Log2-bucketed histogram
+// ---------------------------------------------------------------------------
+
+/// Number of buckets in a [`LatencyHistogram`]: bucket 0 holds the value 0,
+/// bucket `i >= 1` holds values in `[2^(i-1), 2^i)`, and the last bucket
+/// absorbs everything above `2^(HISTOGRAM_BUCKETS-2)`.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Bucket index for a recorded value (log2 bucketing).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (the largest value it can hold).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        i if i >= HISTOGRAM_BUCKETS - 1 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+struct HistShard {
+    counts: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for HistShard {
+    fn default() -> Self {
+        HistShard {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log2-bucketed histogram with sharded relaxed-atomic buckets.
+///
+/// Designed for nanosecond latencies and byte sizes: 64 power-of-two
+/// buckets cover the full `u64` range with a worst-case quantile error of
+/// 2x, which is plenty to tell a 1 µs kernel from a 1 ms one. The exact
+/// maximum is tracked separately so tail queries never under-report.
+#[derive(Default)]
+pub struct LatencyHistogram {
+    shards: [HistShard; METRIC_SHARDS],
+    max: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let shard = &self.shards[thread_shard()];
+        shard.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Merges the shards into an immutable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        let mut sum = 0u64;
+        for shard in &self.shards {
+            for (b, c) in buckets.iter_mut().zip(&shard.counts) {
+                *b += c.load(Ordering::Relaxed);
+            }
+            sum += shard.sum.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum,
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("LatencyHistogram")
+            .field("count", &s.count)
+            .field("max", &s.max)
+            .finish()
+    }
+}
+
+/// Immutable view of a [`LatencyHistogram`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Exact largest observed value (0 when empty).
+    pub max: u64,
+    /// Per-bucket observation counts ([`HISTOGRAM_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Value at quantile `q` in `[0, 1]`: the inclusive upper bound of the
+    /// bucket containing the rank-`ceil(q * count)` observation, clamped to
+    /// the exact maximum. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean of the observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace buffer
+// ---------------------------------------------------------------------------
+
+/// One completed span in the trace buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Operation name (`"csr"`, `"dense::dot"`, `"pool::dispatch"`, ...).
+    pub name: &'static str,
+    /// Lane (rendered as the Chrome-trace `tid`), one per emitting thread.
+    pub lane: u32,
+    /// Start offset from registry creation, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+struct OpenSpan {
+    op: &'static str,
+    start_ns: u64,
+}
+
+#[derive(Default)]
+struct TraceState {
+    /// Lane id and thread name per emitting thread, assigned on first span.
+    lanes: HashMap<ThreadId, (u32, String)>,
+    /// Per-thread stack of spans opened by `LinOpApplyStarted`.
+    open: HashMap<ThreadId, Vec<OpenSpan>>,
+    spans: Vec<TraceSpan>,
+    dropped: u64,
+}
+
+struct Trace {
+    epoch: Instant,
+    capacity: usize,
+    state: Mutex<TraceState>,
+}
+
+impl Trace {
+    fn new(capacity: usize) -> Self {
+        Trace {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            state: Mutex::new(TraceState::default()),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, TraceState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lane_of(state: &mut TraceState, tid: ThreadId) -> u32 {
+        let next = state.lanes.len() as u32;
+        state
+            .lanes
+            .entry(tid)
+            .or_insert_with(|| {
+                let name = std::thread::current()
+                    .name()
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| format!("thread-{next}"));
+                (next, name)
+            })
+            .0
+    }
+
+    fn begin(&self, op: &'static str) {
+        let start_ns = self.now_ns();
+        let tid = std::thread::current().id();
+        let mut state = self.state();
+        state.open.entry(tid).or_default().push(OpenSpan { op, start_ns });
+    }
+
+    fn push_span(state: &mut TraceState, capacity: usize, span: TraceSpan) {
+        if state.spans.len() >= capacity {
+            state.dropped += 1;
+        } else {
+            state.spans.push(span);
+        }
+    }
+
+    fn complete(&self, op: &'static str, wall_ns: u64) {
+        let now = self.now_ns();
+        let tid = std::thread::current().id();
+        let mut state = self.state();
+        let start_ns = match state.open.get_mut(&tid) {
+            // Defensive: only pop a frame that matches; an unpaired
+            // completion synthesizes its start from the event's duration.
+            Some(stack) if stack.last().is_some_and(|f| f.op == op) => {
+                stack.pop().expect("frame present").start_ns
+            }
+            _ => now.saturating_sub(wall_ns),
+        };
+        let lane = Trace::lane_of(&mut state, tid);
+        let dur_ns = now.saturating_sub(start_ns);
+        Trace::push_span(
+            &mut state,
+            self.capacity,
+            TraceSpan {
+                name: op,
+                lane,
+                start_ns,
+                dur_ns,
+            },
+        );
+    }
+
+    /// Records a span retroactively: it ends now and lasted `wall_ns`
+    /// (used for events reported only on completion, like pool dispatches).
+    fn retro_span(&self, name: &'static str, wall_ns: u64) {
+        let now = self.now_ns();
+        let tid = std::thread::current().id();
+        let mut state = self.state();
+        let lane = Trace::lane_of(&mut state, tid);
+        Trace::push_span(
+            &mut state,
+            self.capacity,
+            TraceSpan {
+                name,
+                lane,
+                start_ns: now.saturating_sub(wall_ns),
+                dur_ns: wall_ns,
+            },
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Per-kernel metric pair: wall-clock and virtual (cost-model) latencies.
+#[derive(Default)]
+struct KernelMetrics {
+    wall_ns: LatencyHistogram,
+    virtual_ns: LatencyHistogram,
+}
+
+/// The engine-wide metrics registry.
+///
+/// A registry is an ordinary [`Logger`]; attach it with
+/// [`crate::Executor::add_logger`] — or let
+/// [`crate::Executor::enable_metrics`] do both steps — and read it back with
+/// [`MetricsRegistry::snapshot`]. All recording paths are lock-free sharded
+/// atomics except the first observation of a new kernel name (which takes a
+/// write lock once) and trace-span bookkeeping (a short mutex, only when
+/// tracing is enabled).
+pub struct MetricsRegistry {
+    kernels: RwLock<BTreeMap<&'static str, Arc<KernelMetrics>>>,
+    solver_iterations: RwLock<BTreeMap<&'static str, Arc<ShardedCounter>>>,
+    pool_dispatch_ns: LatencyHistogram,
+    alloc_bytes: LatencyHistogram,
+    solves: ShardedCounter,
+    criterion_checks: ShardedCounter,
+    events: ShardedCounter,
+    trace: Option<Trace>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("events", &self.events.get())
+            .field("tracing", &self.trace.is_some())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// Default bound on retained trace spans.
+    pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+    /// Registry with span tracing enabled at the default capacity.
+    pub fn new() -> Self {
+        MetricsRegistry::with_trace_capacity(MetricsRegistry::DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Registry with span tracing bounded at `capacity` spans; spans beyond
+    /// the bound are counted as dropped, never silently lost.
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        MetricsRegistry {
+            trace: Some(Trace::new(capacity)),
+            ..MetricsRegistry::without_trace()
+        }
+    }
+
+    /// Registry that aggregates histograms/counters only (no span buffer).
+    pub fn without_trace() -> Self {
+        MetricsRegistry {
+            kernels: RwLock::new(BTreeMap::new()),
+            solver_iterations: RwLock::new(BTreeMap::new()),
+            pool_dispatch_ns: LatencyHistogram::new(),
+            alloc_bytes: LatencyHistogram::new(),
+            solves: ShardedCounter::new(),
+            criterion_checks: ShardedCounter::new(),
+            events: ShardedCounter::new(),
+            trace: None,
+        }
+    }
+
+    /// Total events this registry has observed.
+    pub fn events_observed(&self) -> u64 {
+        self.events.get()
+    }
+
+    fn kernel(&self, op: &'static str) -> Arc<KernelMetrics> {
+        if let Some(k) = self
+            .kernels
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(op)
+        {
+            return k.clone();
+        }
+        self.kernels
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(op)
+            .or_default()
+            .clone()
+    }
+
+    fn iteration_counter(&self, solver: &'static str) -> Arc<ShardedCounter> {
+        if let Some(c) = self
+            .solver_iterations
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(solver)
+        {
+            return c.clone();
+        }
+        self.solver_iterations
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(solver)
+            .or_default()
+            .clone()
+    }
+
+    /// Materializes everything recorded so far into an immutable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let kernels = self
+            .kernels
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(op, k)| {
+                let wall_ns = k.wall_ns.snapshot();
+                KernelSnapshot {
+                    op: op.to_string(),
+                    calls: wall_ns.count,
+                    wall_ns,
+                    virtual_ns: k.virtual_ns.snapshot(),
+                }
+            })
+            .collect();
+        let solver_iterations = self
+            .solver_iterations
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(s, c)| (s.to_string(), c.get()))
+            .collect();
+        let (spans, lanes, trace_dropped) = match &self.trace {
+            None => (Vec::new(), Vec::new(), 0),
+            Some(trace) => {
+                let state = trace.state();
+                let mut lanes: Vec<(u32, String)> =
+                    state.lanes.values().cloned().collect();
+                lanes.sort();
+                (state.spans.clone(), lanes, state.dropped)
+            }
+        };
+        MetricsSnapshot {
+            kernels,
+            solver_iterations,
+            pool_dispatch_ns: self.pool_dispatch_ns.snapshot(),
+            alloc_bytes: self.alloc_bytes.snapshot(),
+            solves: self.solves.get(),
+            criterion_checks: self.criterion_checks.get(),
+            events: self.events.get(),
+            spans,
+            lanes,
+            trace_dropped,
+        }
+    }
+}
+
+impl Logger for MetricsRegistry {
+    fn on_event(&self, event: &Event) {
+        self.events.incr();
+        match *event {
+            Event::LinOpApplyStarted { op } => {
+                if let Some(trace) = &self.trace {
+                    trace.begin(op);
+                }
+            }
+            Event::LinOpApplyCompleted {
+                op,
+                wall_ns,
+                virtual_ns,
+            } => {
+                let kernel = self.kernel(op);
+                kernel.wall_ns.record(wall_ns);
+                kernel.virtual_ns.record(virtual_ns);
+                if let Some(trace) = &self.trace {
+                    trace.complete(op, wall_ns);
+                }
+            }
+            Event::IterationComplete { solver, .. } => {
+                self.iteration_counter(solver).incr();
+            }
+            Event::CriterionChecked { .. } => self.criterion_checks.incr(),
+            Event::SolveCompleted { .. } => self.solves.incr(),
+            Event::AllocationComplete { bytes } => self.alloc_bytes.record(bytes as u64),
+            Event::PoolDispatch { wall_ns, .. } => {
+                self.pool_dispatch_ns.record(wall_ns);
+                if let Some(trace) = &self.trace {
+                    trace.retro_span("pool::dispatch", wall_ns);
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "metrics"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot + exporters
+// ---------------------------------------------------------------------------
+
+/// Aggregates of one kernel kind inside a [`MetricsSnapshot`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KernelSnapshot {
+    /// Kernel / operator name.
+    pub op: String,
+    /// Completed invocations.
+    pub calls: u64,
+    /// Wall-clock latency distribution.
+    pub wall_ns: HistogramSnapshot,
+    /// Virtual (cost-model) latency distribution.
+    pub virtual_ns: HistogramSnapshot,
+}
+
+/// Immutable, exportable view of everything a [`MetricsRegistry`] recorded.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Per-kernel latency aggregates, sorted by kernel name.
+    pub kernels: Vec<KernelSnapshot>,
+    /// Completed iterations per solver name, sorted by name.
+    pub solver_iterations: Vec<(String, u64)>,
+    /// Worker-pool dispatch latency distribution (wall nanoseconds).
+    pub pool_dispatch_ns: HistogramSnapshot,
+    /// Allocation size distribution (bytes).
+    pub alloc_bytes: HistogramSnapshot,
+    /// Completed solves observed.
+    pub solves: u64,
+    /// Stopping-criterion evaluations observed.
+    pub criterion_checks: u64,
+    /// Total events observed.
+    pub events: u64,
+    /// Completed trace spans (empty when tracing is disabled).
+    pub spans: Vec<TraceSpan>,
+    /// Lane id / thread name pairs for the span lanes.
+    pub lanes: Vec<(u32, String)>,
+    /// Spans discarded because the trace buffer was full.
+    pub trace_dropped: u64,
+}
+
+fn prom_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn prom_histogram(out: &mut String, metric: &str, labels: &str, h: &HistogramSnapshot) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cumulative = 0u64;
+    let last = h
+        .buckets
+        .iter()
+        .rposition(|&c| c > 0)
+        .unwrap_or(0);
+    for (i, c) in h.buckets.iter().enumerate().take(last + 1) {
+        cumulative += c;
+        let _ = writeln!(
+            out,
+            "{metric}_bucket{{{labels}{sep}le=\"{}\"}} {cumulative}",
+            bucket_upper_bound(i)
+        );
+    }
+    let _ = writeln!(out, "{metric}_bucket{{{labels}{sep}le=\"+Inf\"}} {}", h.count);
+    if labels.is_empty() {
+        let _ = writeln!(out, "{metric}_sum {}", h.sum);
+        let _ = writeln!(out, "{metric}_count {}", h.count);
+    } else {
+        let _ = writeln!(out, "{metric}_sum{{{labels}}} {}", h.sum);
+        let _ = writeln!(out, "{metric}_count{{{labels}}} {}", h.count);
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl MetricsSnapshot {
+    /// Aggregates for one kernel, if it was observed.
+    pub fn kernel(&self, op: &str) -> Option<&KernelSnapshot> {
+        self.kernels.iter().find(|k| k.op == op)
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (counters and cumulative-`le` histograms, labeled by kernel/solver).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# TYPE gko_events_total counter\n");
+        let _ = writeln!(out, "gko_events_total {}", self.events);
+        out.push_str("# TYPE gko_solves_total counter\n");
+        let _ = writeln!(out, "gko_solves_total {}", self.solves);
+        out.push_str("# TYPE gko_criterion_checks_total counter\n");
+        let _ = writeln!(out, "gko_criterion_checks_total {}", self.criterion_checks);
+        out.push_str("# TYPE gko_solver_iterations_total counter\n");
+        for (solver, n) in &self.solver_iterations {
+            let _ = writeln!(
+                out,
+                "gko_solver_iterations_total{{solver=\"{}\"}} {n}",
+                prom_escape(solver)
+            );
+        }
+        out.push_str("# TYPE gko_kernel_calls_total counter\n");
+        for k in &self.kernels {
+            let _ = writeln!(
+                out,
+                "gko_kernel_calls_total{{op=\"{}\"}} {}",
+                prom_escape(&k.op),
+                k.calls
+            );
+        }
+        out.push_str("# TYPE gko_kernel_wall_ns histogram\n");
+        for k in &self.kernels {
+            let labels = format!("op=\"{}\"", prom_escape(&k.op));
+            prom_histogram(&mut out, "gko_kernel_wall_ns", &labels, &k.wall_ns);
+        }
+        out.push_str("# TYPE gko_kernel_virtual_ns histogram\n");
+        for k in &self.kernels {
+            let labels = format!("op=\"{}\"", prom_escape(&k.op));
+            prom_histogram(&mut out, "gko_kernel_virtual_ns", &labels, &k.virtual_ns);
+        }
+        out.push_str("# TYPE gko_pool_dispatch_ns histogram\n");
+        prom_histogram(&mut out, "gko_pool_dispatch_ns", "", &self.pool_dispatch_ns);
+        out.push_str("# TYPE gko_alloc_bytes histogram\n");
+        prom_histogram(&mut out, "gko_alloc_bytes", "", &self.alloc_bytes);
+        out
+    }
+
+    /// Renders the trace spans as a `chrome://tracing` / Perfetto-loadable
+    /// JSON document with balanced `"B"`/`"E"` event pairs and one named
+    /// lane (`tid`) per emitting thread.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        out.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"gko\"}}",
+        );
+        for (lane, name) in &self.lanes {
+            let _ = write!(
+                out,
+                ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                json_escape(name)
+            );
+        }
+        // Emit B/E pairs sorted by begin time so viewers reconstruct the
+        // nesting; each completed span contributes exactly one pair.
+        let mut spans: Vec<&TraceSpan> = self.spans.iter().collect();
+        spans.sort_by_key(|s| (s.start_ns, std::cmp::Reverse(s.dur_ns)));
+        for s in spans {
+            let begin_us = s.start_ns as f64 / 1000.0;
+            let end_us = (s.start_ns + s.dur_ns) as f64 / 1000.0;
+            let name = json_escape(s.name);
+            let _ = write!(
+                out,
+                ",\n{{\"name\":\"{name}\",\"ph\":\"B\",\"ts\":{begin_us:.3},\
+                 \"pid\":1,\"tid\":{lane}}},\n\
+                 {{\"name\":\"{name}\",\"ph\":\"E\",\"ts\":{end_us:.3},\
+                 \"pid\":1,\"tid\":{lane}}}",
+                lane = s.lane
+            );
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Every bucket's upper bound maps back into that bucket.
+        for i in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_counts_sum_and_max() {
+        let h = LatencyHistogram::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1010);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets[0], 1, "value 0");
+        assert_eq!(s.buckets[1], 1, "value 1");
+        assert_eq!(s.buckets[2], 2, "values 2, 3");
+        assert_eq!(s.buckets[3], 1, "value 4");
+        assert_eq!(s.buckets[10], 1, "value 1000 in [512, 1024)");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded_by_max() {
+        let h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let (p50, p95, p99) = (s.p50(), s.p95(), s.p99());
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= s.max);
+        // log2 buckets answer within a factor of two.
+        assert!((256..=1000).contains(&p50), "p50 = {p50}");
+        assert!(p99 >= 512, "p99 = {p99}");
+        assert_eq!(s.quantile(1.0), 1000);
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn sharded_counter_sums_across_threads() {
+        let c = Arc::new(ShardedCounter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn registry_aggregates_the_event_stream() {
+        let reg = MetricsRegistry::new();
+        reg.on_event(&Event::LinOpApplyStarted { op: "csr" });
+        reg.on_event(&Event::LinOpApplyCompleted {
+            op: "csr",
+            wall_ns: 1500,
+            virtual_ns: 1000,
+        });
+        reg.on_event(&Event::IterationComplete {
+            solver: "solver::Cg",
+            iteration: 1,
+            residual: 1.0,
+        });
+        reg.on_event(&Event::AllocationComplete { bytes: 4096 });
+        reg.on_event(&Event::PoolDispatch {
+            chunks: 8,
+            steals: 1,
+            threads: 4,
+            wall_ns: 2500,
+        });
+        let snap = reg.snapshot();
+        let csr = snap.kernel("csr").expect("csr kernel recorded");
+        assert_eq!(csr.calls, 1);
+        assert_eq!(csr.wall_ns.max, 1500);
+        assert_eq!(csr.virtual_ns.max, 1000);
+        assert_eq!(snap.solver_iterations, vec![("solver::Cg".to_string(), 1)]);
+        assert_eq!(snap.alloc_bytes.count, 1);
+        assert_eq!(snap.alloc_bytes.max, 4096);
+        assert_eq!(snap.pool_dispatch_ns.max, 2500);
+        assert_eq!(snap.events, 5);
+        // Two spans: the completed csr apply plus the pool dispatch.
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.trace_dropped, 0);
+    }
+
+    #[test]
+    fn trace_capacity_counts_drops() {
+        let reg = MetricsRegistry::with_trace_capacity(1);
+        for _ in 0..3 {
+            reg.on_event(&Event::LinOpApplyStarted { op: "csr" });
+            reg.on_event(&Event::LinOpApplyCompleted {
+                op: "csr",
+                wall_ns: 10,
+                virtual_ns: 10,
+            });
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.trace_dropped, 2);
+        assert_eq!(snap.kernel("csr").unwrap().calls, 3, "histograms unaffected");
+    }
+
+    #[test]
+    fn untraced_registry_keeps_histograms_only() {
+        let reg = MetricsRegistry::without_trace();
+        reg.on_event(&Event::LinOpApplyStarted { op: "coo" });
+        reg.on_event(&Event::LinOpApplyCompleted {
+            op: "coo",
+            wall_ns: 7,
+            virtual_ns: 7,
+        });
+        let snap = reg.snapshot();
+        assert!(snap.spans.is_empty());
+        assert_eq!(snap.kernel("coo").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let reg = MetricsRegistry::new();
+        reg.on_event(&Event::LinOpApplyCompleted {
+            op: "csr",
+            wall_ns: 100,
+            virtual_ns: 90,
+        });
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("gko_kernel_calls_total{op=\"csr\"} 1"), "{text}");
+        assert!(text.contains("gko_kernel_wall_ns_bucket{op=\"csr\",le=\"127\"} 1"), "{text}");
+        assert!(text.contains("le=\"+Inf\"} 1"), "{text}");
+        assert!(text.contains("gko_kernel_wall_ns_sum{op=\"csr\"} 100"), "{text}");
+        assert!(text.contains("gko_pool_dispatch_ns_bucket{le=\"+Inf\"} 0"), "{text}");
+    }
+
+    #[test]
+    fn chrome_trace_pairs_are_balanced() {
+        let reg = MetricsRegistry::new();
+        reg.on_event(&Event::LinOpApplyStarted { op: "outer" });
+        reg.on_event(&Event::LinOpApplyStarted { op: "inner" });
+        reg.on_event(&Event::LinOpApplyCompleted {
+            op: "inner",
+            wall_ns: 10,
+            virtual_ns: 10,
+        });
+        reg.on_event(&Event::LinOpApplyCompleted {
+            op: "outer",
+            wall_ns: 30,
+            virtual_ns: 30,
+        });
+        let trace = reg.snapshot().to_chrome_trace();
+        let begins = trace.matches("\"ph\":\"B\"").count();
+        let ends = trace.matches("\"ph\":\"E\"").count();
+        assert_eq!(begins, 2);
+        assert_eq!(begins, ends);
+        assert!(trace.contains("\"thread_name\""));
+    }
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Benchmark regression gate driver: runs bench_gate against the committed
+# baseline, then proves the gate still has teeth by injecting a synthetic
+# 2x slowdown and demanding a failure. Run from anywhere.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p pygko-bench --bin bench_gate
+
+# 1. The committed candidate must be within tolerance of the baseline.
+./target/release/bench_gate
+
+# 2. Self-test: a uniform 2x slowdown must make the gate exit nonzero.
+if BENCH_GATE_INJECT=2.0 ./target/release/bench_gate >/dev/null 2>&1; then
+    echo "check_bench: FAIL — gate accepted an injected 2x slowdown" >&2
+    exit 1
+fi
+echo "check_bench: gate rejects injected 2x slowdown (self-test OK)"

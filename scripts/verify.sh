@@ -10,7 +10,15 @@ RUSTFLAGS="-D warnings" cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-# Smoke-run a real benchmark binary end to end (quick suite).
-PYGKO_BENCH_QUICK=1 cargo run --release --offline -p pygko-bench --bin micro_spmv
+# Smoke-run a real benchmark binary end to end (quick suite). Quick-mode
+# output goes to a scratch directory so it never overwrites the committed
+# full-size results/ files.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+PYGKO_BENCH_QUICK=1 PYGKO_RESULTS_DIR="$SMOKE_DIR" \
+    cargo run --release --offline -p pygko-bench --bin micro_spmv
+
+# Benchmark regression gate (plus its injected-slowdown self-test).
+./scripts/check_bench.sh
 
 echo "verify: OK"
