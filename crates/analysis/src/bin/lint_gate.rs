@@ -1,0 +1,88 @@
+//! The workspace lint gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p pygko-analysis --bin lint_gate [--] [WORKSPACE_ROOT]
+//! cargo run -p pygko-analysis --bin lint_gate -- --self-test
+//! ```
+//!
+//! Scans every `.rs` file under `crates/`, `examples/`, and `tests/` and
+//! prints one `path:line: [rule] message` diagnostic per violation. Exit
+//! codes: 0 clean, 1 violations found, 2 I/O or self-test failure.
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut root_arg: Option<PathBuf> = None;
+    let mut self_test = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--self-test" => self_test = true,
+            "--help" | "-h" => {
+                eprintln!("usage: lint_gate [--self-test] [WORKSPACE_ROOT]");
+                return;
+            }
+            other => root_arg = Some(PathBuf::from(other)),
+        }
+    }
+
+    if self_test {
+        match pygko_analysis::run_self_test() {
+            Ok(report) => {
+                for line in &report {
+                    println!("{line}");
+                }
+                println!("lint_gate: self-test passed ({} cases)", report.len());
+            }
+            Err(failures) => {
+                for line in &failures {
+                    eprintln!("{line}");
+                }
+                eprintln!("lint_gate: self-test FAILED ({} cases)", failures.len());
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
+    let root = root_arg.unwrap_or_else(find_workspace_root);
+    match pygko_analysis::lint_workspace(&root) {
+        Ok((diags, files)) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            if diags.is_empty() {
+                println!("lint_gate: {files} files clean");
+            } else {
+                println!("lint_gate: {} violation(s) in {files} files", diags.len());
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("lint_gate: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Locates the workspace root: the analysis crate's grandparent when built
+/// in-tree, otherwise the nearest ancestor of the current directory that
+/// looks like the workspace (has both `Cargo.toml` and `crates/`).
+fn find_workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    if let Some(root) = manifest.parent().and_then(|p| p.parent()) {
+        if root.join("Cargo.toml").exists() {
+            return root.to_owned();
+        }
+    }
+    let mut cur = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if cur.join("Cargo.toml").exists() && cur.join("crates").is_dir() {
+            return cur;
+        }
+        if !cur.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

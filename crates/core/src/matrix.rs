@@ -157,6 +157,14 @@ impl SparseMatrix {
         with_impl!(&self.inner, m => m.nnz())
     }
 
+    /// Runs the engine sanitizer's structural validation on the stored
+    /// format: re-derives the CSR/COO invariants (monotone row pointers,
+    /// in-bounds indices, sorted coordinates) from scratch and reports the
+    /// first violation as a value error.
+    pub fn validate(&self) -> PyResult<()> {
+        with_impl!(&self.inner, m => m.validate().map_err(PyGinkgoError::from))
+    }
+
     /// Runtime value type.
     pub fn dtype(&self) -> DType {
         match &self.inner {

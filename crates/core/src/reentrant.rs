@@ -57,6 +57,8 @@ impl ReentrantMutex {
         let me = current_thread_id();
         if self.owner.load(Ordering::Acquire) == me {
             // Reentrant fast path: we already hold the lock.
+            // SAFETY: `owner == me` means this thread holds the lock, so it
+            // is the only one touching `depth`.
             unsafe { *self.depth.get() += 1 };
             return ReentrantGuard { mutex: self };
         }
@@ -65,6 +67,8 @@ impl ReentrantMutex {
             held = self.unlocked.wait(held).expect("reentrant mutex poisoned");
         }
         self.owner.store(me, Ordering::Release);
+        // SAFETY: we just became the owner under `inner`, so no other
+        // thread can reach `depth` until we release ownership.
         unsafe { *self.depth.get() = 1 };
         ReentrantGuard { mutex: self }
     }

@@ -46,6 +46,9 @@ pub struct Solver {
     name: &'static str,
     device: Device,
     attached: AttachedLoggers,
+    /// Check operand tensors for NaN/Inf around every apply — set by
+    /// [`Solver::with_sanitizer`].
+    sanitize_values: bool,
 }
 
 impl Solver {
@@ -117,6 +120,45 @@ impl Solver {
         Ok(self)
     }
 
+    /// Turns on runtime sanitizer checks for this solver's device — the
+    /// `solver.with_sanitizer("full")` facade over the engine's
+    /// [`gko::Sanitizer`].
+    ///
+    /// Modes: `"pool"` arms the chunk-overlap detector on the device
+    /// executor (every pool job records which lane claimed which piece and
+    /// the claim log is checked for exact disjoint coverage after the
+    /// drain), `"values"` checks the right-hand side for NaN/Inf before
+    /// each apply and the solution after it, and `"full"` (or `"on"`)
+    /// enables both. Pool-level results are read back with
+    /// [`Solver::sanitizer_report`]. Like `with_logger("metrics")`, the
+    /// pool detector is a device-executor property: it observes every
+    /// parallel kernel on the device, not only this solver's.
+    pub fn with_sanitizer(mut self, mode: &str) -> PyResult<Self> {
+        let mode = mode.to_ascii_lowercase();
+        match mode.as_str() {
+            "pool" => self.device.executor().enable_sanitizer(),
+            "values" => self.sanitize_values = true,
+            "full" | "on" => {
+                self.device.executor().enable_sanitizer();
+                self.sanitize_values = true;
+            }
+            other => {
+                return Err(PyGinkgoError::Value(format!(
+                    "unknown sanitizer mode '{other}' \
+                     (expected pool, values, or full)"
+                )))
+            }
+        }
+        Ok(self)
+    }
+
+    /// Counters from the device executor's chunk-overlap detector: how many
+    /// pool jobs and chunk claims have been verified disjoint so far. All
+    /// zero until `with_sanitizer("pool")` (or `"full"`) arms it.
+    pub fn sanitizer_report(&self) -> gko::SanitizerReport {
+        self.device.executor().sanitizer_report()
+    }
+
     /// Snapshot of the metrics registry attached via
     /// `with_logger("metrics")`: per-kernel call counts and latency
     /// quantiles, solver iteration counters, pool-dispatch and allocation
@@ -171,15 +213,28 @@ impl Solver {
     pub fn apply(&self, b: &Tensor, x: &mut Tensor) -> PyResult<Logger> {
         let dev = self.device.clone();
         binding_call(&dev, || {
+            macro_rules! solve {
+                ($s:expr, $bd:expr, $xd:expr) => {{
+                    if self.sanitize_values {
+                        gko::sanitize::check_finite("rhs", $bd.as_slice())
+                            .map_err(PyGinkgoError::from)?;
+                    }
+                    $s.apply($bd, $xd).map_err(PyGinkgoError::from)?;
+                    if self.sanitize_values {
+                        gko::sanitize::check_finite("solution", $xd.as_slice())
+                            .map_err(PyGinkgoError::from)?;
+                    }
+                }};
+            }
             match (&self.inner, b.data(), x.data_mut()) {
                 (SolverImpl::Half(s), TensorData::Half(bd), TensorData::Half(xd)) => {
-                    s.apply(bd, xd).map_err(PyGinkgoError::from)?
+                    solve!(s, bd, xd)
                 }
                 (SolverImpl::Float(s), TensorData::Float(bd), TensorData::Float(xd)) => {
-                    s.apply(bd, xd).map_err(PyGinkgoError::from)?
+                    solve!(s, bd, xd)
                 }
                 (SolverImpl::Double(s), TensorData::Double(bd), TensorData::Double(xd)) => {
-                    s.apply(bd, xd).map_err(PyGinkgoError::from)?
+                    solve!(s, bd, xd)
                 }
                 _ => {
                     return Err(PyGinkgoError::Type(format!(
@@ -325,6 +380,7 @@ fn make_krylov(
             name: algo.name(),
             device: device.clone(),
             attached: AttachedLoggers::default(),
+            sanitize_values: false,
         })
     })
 }
@@ -444,6 +500,7 @@ where
             name,
             device: device.clone(),
             attached: AttachedLoggers::default(),
+            sanitize_values: false,
         })
     })
 }

@@ -18,6 +18,7 @@ pub mod pool;
 
 use crate::log::{Event, Logger, LoggerRegistry};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::sanitize::{Sanitizer, SanitizerReport};
 use pool::{PoolStats, WorkerPool};
 use pygko_sim::{ChunkWork, DeviceKind, DeviceSpec, Timeline};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -72,6 +73,9 @@ struct Inner {
     /// any. Kept here (in addition to its logger attachment) so snapshots
     /// can be read back without holding onto the `Arc` at the call site.
     metrics: Mutex<Option<Arc<MetricsRegistry>>>,
+    /// Runtime sanitizer switch + counters, embedded (not boxed) so the
+    /// disabled check in `parallel_chunks` is a single relaxed load.
+    sanitizer: Sanitizer,
 }
 
 /// A cheaply-cloneable handle to an execution resource.
@@ -95,6 +99,7 @@ impl Executor {
             pool: OnceLock::new(),
             loggers: LoggerRegistry::new(),
             metrics: Mutex::new(None),
+            sanitizer: Sanitizer::new(),
         }))
     }
 
@@ -323,6 +328,34 @@ impl Executor {
     /// [`Executor::enable_metrics`] is called).
     pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
         self.metrics().map(|m| m.snapshot())
+    }
+
+    /// Enables the runtime sanitizer on this executor (shared by all handle
+    /// clones): every subsequent pool dispatch records which lane claimed
+    /// which chunk and verifies, after the drain, that the claims exactly
+    /// partition the chunk range — machine-checking the disjointness claim
+    /// the pool's `PieceTable` safety rests on. A violated partition
+    /// panics with a diagnostic naming the piece and lanes involved.
+    ///
+    /// While disabled (the default) the cost is one relaxed atomic load per
+    /// dispatch, mirroring [`Executor::enable_metrics`]'s off path.
+    pub fn enable_sanitizer(&self) {
+        self.0.sanitizer.set_enabled(true);
+    }
+
+    /// Turns the runtime sanitizer back off (counters are retained).
+    pub fn disable_sanitizer(&self) {
+        self.0.sanitizer.set_enabled(false);
+    }
+
+    /// The executor's sanitizer state (switch + counters).
+    pub fn sanitizer(&self) -> &Sanitizer {
+        &self.0.sanitizer
+    }
+
+    /// Snapshot of the sanitizer's verification counters.
+    pub fn sanitizer_report(&self) -> SanitizerReport {
+        self.0.sanitizer.report()
     }
 
     /// Records an allocation in the memory accountant.

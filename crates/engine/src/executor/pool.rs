@@ -117,6 +117,16 @@ thread_local! {
     /// True while the current thread is executing chunks for some pool, used
     /// to run nested dispatches inline instead of deadlocking on `submit`.
     static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// The pool lane this thread drains as: worker threads carry their fixed
+    /// id, the submitting thread takes the last lane for the duration of a
+    /// `run`. Read by the sanitizer's claim recording.
+    static POOL_LANE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The pool lane the current thread is executing chunks for (0 outside any
+/// dispatch). Used by the sanitizer to attribute chunk claims to lanes.
+pub(crate) fn current_lane() -> usize {
+    POOL_LANE.with(|l| l.get())
 }
 
 /// A persistent, work-stealing pool of `threads` execution lanes.
@@ -166,6 +176,10 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("gko-pool-{id}"))
                     .spawn(move || worker_loop(shared, id))
+                    // lint: allow(panic): pool construction, not a kernel
+                    // path — if the OS cannot spawn threads there is no
+                    // meaningful recovery, and callers get a pool-less
+                    // executor only by configuration, never by fallback.
                     .expect("spawning pool worker")
             })
             .collect();
@@ -210,6 +224,9 @@ impl WorkerPool {
             }
             return;
         }
+        // lint: allow(forbidden-api): measures real dispatch overhead for
+        // `PoolStats` diagnostics only; the value never feeds the virtual
+        // timeline or any kernel result.
         let start = Instant::now();
         let _submission = self.submit.lock().unwrap_or_else(|e| e.into_inner());
         let lanes = self.threads;
@@ -220,11 +237,11 @@ impl WorkerPool {
             })
             .collect();
         let workers = self.handles.len();
-        // SAFETY (transmute): erases the borrow's lifetime into the
-        // `'static`-defaulted raw trait-object pointer; `run` blocks until
-        // every lane finished and clears the slot before returning, so the
-        // pointer never outlives the borrow.
         let task: TaskPtr =
+            // SAFETY: the transmute erases the borrow's lifetime into the
+            // `'static`-defaulted raw trait-object pointer; `run` blocks
+            // until every lane finished and clears the slot before
+            // returning, so the pointer never outlives the borrow.
             unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), TaskPtr>(task) };
         // SAFETY: no worker is active (previous run drained them and this
         // thread holds `submit`), so the slot is exclusively ours.
@@ -241,8 +258,11 @@ impl WorkerPool {
         // steal leftovers, in parallel with the woken workers.
         {
             // SAFETY: published above; workers only read it.
+            // lint: allow(panic): the slot was set to `Some` a few lines up
+            // while holding `submit`, so `as_ref()` cannot be `None`.
             let job = unsafe { (*self.shared.job.get()).as_ref().unwrap() };
             IN_POOL_WORKER.with(|w| w.set(true));
+            POOL_LANE.with(|l| l.set(lanes - 1));
             let drained = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 drain(&self.shared, job, lanes - 1);
             }));
@@ -326,6 +346,7 @@ fn drain(shared: &Shared, job: &Job, me: usize) {
 
 /// Body of one parked OS worker.
 fn worker_loop(shared: Arc<Shared>, id: usize) {
+    POOL_LANE.with(|l| l.set(id));
     let mut seen = 0u64;
     loop {
         {
@@ -345,6 +366,8 @@ fn worker_loop(shared: Arc<Shared>, id: usize) {
         {
             // SAFETY: the epoch handshake guarantees the job was fully
             // published before we observed the bump.
+            // lint: allow(panic): same handshake — a bumped epoch implies
+            // the submitter stored `Some` before notifying.
             let job = unsafe { (*shared.job.get()).as_ref().unwrap() };
             IN_POOL_WORKER.with(|w| w.set(true));
             let drained = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -398,6 +421,7 @@ where
     assert!(!bounds.is_empty(), "bounds must contain at least [0]");
     assert_eq!(bounds[0], 0, "bounds must start at 0");
     assert_eq!(
+        // lint: allow(panic): non-empty asserted two lines above.
         *bounds.last().unwrap(),
         out.len(),
         "bounds must end at the slice length"
@@ -430,18 +454,40 @@ where
         rest = tail;
     }
     let table = PieceTable(pieces.as_mut_ptr());
+    // lint: allow(panic): the `pool.is_none()` case returned above.
     let pool = pool.unwrap();
     // Only pay for counter snapshots when someone is listening.
     let stats_before = exec
         .loggers()
         .is_active()
         .then(|| pool.stats());
-    pool.run(chunks, &|i| {
+    let body = |i: usize| {
         // SAFETY: index `i` is delivered exactly once, so this `&mut` is the
         // only live reference to piece `i`.
         let piece = unsafe { table.piece(i) };
         f(i, piece);
-    });
+    };
+    // With the sanitizer on, record which lane claimed which piece and
+    // verify after the drain that the claims exactly partition the chunk
+    // range — the machine check behind `PieceTable`'s SAFETY argument.
+    // Off path: one relaxed load.
+    let claims = exec
+        .sanitizer()
+        .is_enabled()
+        .then(|| crate::sanitize::ClaimLog::new(pool.threads()));
+    match &claims {
+        Some(log) => pool.run(chunks, &|i| {
+            log.record(current_lane(), i);
+            body(i);
+        }),
+        None => pool.run(chunks, &body),
+    }
+    if let Some(log) = &claims {
+        match log.verify(chunks) {
+            Ok(summary) => exec.sanitizer().note_job(summary.pieces),
+            Err(violation) => crate::sanitize::report_claim_violation(&violation),
+        }
+    }
     if let Some(before) = stats_before {
         let delta = pool.stats().since(&before);
         exec.loggers().log(&crate::log::Event::PoolDispatch {

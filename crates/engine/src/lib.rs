@@ -22,6 +22,9 @@
 //! * **Stopping criteria** ([`stop`]), **loggers** ([`log`]), and the
 //!   always-on **metrics registry** ([`metrics`]: latency histograms,
 //!   Prometheus/Chrome-trace exporters).
+//! * **The runtime sanitizer** ([`sanitize`]): chunk-overlap detection for
+//!   the worker pool, structural `validate()` for every matrix format, and
+//!   a seeded schedule-perturbation stress harness.
 //! * **The config solver** ([`config`], paper §5): a generic entry point that
 //!   builds arbitrary solver/preconditioner pipelines from a JSON-style
 //!   configuration tree, with a from-scratch JSON parser/serializer.
@@ -37,6 +40,7 @@ pub mod log;
 pub mod matrix;
 pub mod metrics;
 pub mod preconditioner;
+pub mod sanitize;
 pub mod solver;
 pub mod stop;
 
@@ -48,3 +52,4 @@ pub use executor::pool::PoolStats;
 pub use executor::Executor;
 pub use linop::LinOp;
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use sanitize::{ClaimLog, ClaimViolation, Sanitizer, SanitizerReport};

@@ -15,6 +15,7 @@ use crate::base::types::Value;
 use crate::executor::pool::{parallel_chunks, uniform_bounds};
 use crate::executor::Executor;
 use crate::linop::{check_apply_dims, LinOp};
+use crate::log::OpTimer;
 use crate::matrix::csr::Csr;
 use crate::matrix::dense::Dense;
 use pygko_sim::ChunkWork;
@@ -101,6 +102,8 @@ impl<V: Value> Conv2d<V> {
             }
         }
         Csr::from_triplets(&self.exec, Dim2::square(h * w), &triplets)
+            // lint: allow(panic): triplets are built from in-range stencil
+            // offsets, so the CSR constructor cannot reject them.
             .expect("stencil triplets are valid")
     }
 
@@ -137,6 +140,7 @@ impl<V: Value> LinOp<V> for Conv2d<V> {
 
     fn apply(&self, b: &Dense<V>, x: &mut Dense<V>) -> Result<()> {
         check_apply_dims::<V>(self.size(), b, x)?;
+        let _timer = OpTimer::new(&self.exec, "conv2d");
         let (h, w) = (self.height, self.width);
         let k = b.size().cols;
         let (rh, rw) = (self.kh / 2, self.kw / 2);

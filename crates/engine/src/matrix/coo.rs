@@ -85,6 +85,65 @@ impl<V: Value, I: Index> Coo<V, I> {
         Ok(Coo::from_csr(&csr))
     }
 
+    /// Builds a COO matrix from raw index/value arrays **without** checking
+    /// the sorted-and-in-bounds invariant. For trusted converters and for
+    /// sanitizer tests constructing deliberately corrupted matrices; pass
+    /// the result through [`Coo::validate`] before applying it.
+    pub fn from_raw_unchecked(
+        exec: &Executor,
+        size: Dim2,
+        row_idxs: Vec<I>,
+        col_idxs: Vec<I>,
+        values: Vec<V>,
+    ) -> Self {
+        Coo {
+            size,
+            row_idxs: Array::from_vec(exec, row_idxs),
+            col_idxs: Array::from_vec(exec, col_idxs),
+            values: Array::from_vec(exec, values),
+        }
+    }
+
+    /// Re-derives the COO structural invariants: equal array lengths,
+    /// in-bounds indices, and strictly increasing `(row, col)` order (the
+    /// property the segment-merge SpMV and the CSR converter rely on).
+    pub fn validate(&self) -> Result<()> {
+        let (rows, cols) = (self.size.rows, self.size.cols);
+        let (ri, ci, vals) = (
+            self.row_idxs.as_slice(),
+            self.col_idxs.as_slice(),
+            self.values.as_slice(),
+        );
+        if ri.len() != ci.len() || ci.len() != vals.len() {
+            return Err(GkoError::BadInput(format!(
+                "COO array lengths disagree: {} rows, {} cols, {} values",
+                ri.len(),
+                ci.len(),
+                vals.len()
+            )));
+        }
+        let mut prev: Option<(usize, usize)> = None;
+        for k in 0..ri.len() {
+            let (r, c) = (ri[k].to_usize(), ci[k].to_usize());
+            if r >= rows || c >= cols {
+                return Err(GkoError::BadInput(format!(
+                    "COO entry {k} at ({r}, {c}) outside matrix {}",
+                    self.size
+                )));
+            }
+            if let Some(p) = prev {
+                if (r, c) <= p {
+                    return Err(GkoError::BadInput(format!(
+                        "COO entries must be strictly increasing in (row, col) \
+                         order; entry {k} at ({r}, {c}) violates it"
+                    )));
+                }
+            }
+            prev = Some((r, c));
+        }
+        Ok(())
+    }
+
     /// Converts from CSR.
     pub fn from_csr(csr: &Csr<V, I>) -> Self {
         let rp = csr.row_ptrs();
@@ -122,6 +181,8 @@ impl<V: Value, I: Index> Coo<V, I> {
             self.col_idxs.as_slice().to_vec(),
             self.values.as_slice().to_vec(),
         )
+        // lint: allow(panic): the COO invariant (sorted, in-bounds,
+        // deduplicated triplets) is exactly the CSR precondition.
         .expect("sorted COO produces valid CSR")
     }
 

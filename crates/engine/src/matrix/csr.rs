@@ -41,6 +41,72 @@ pub struct Csr<V: Value, I: Index = i32> {
     strategy: SpmvStrategy,
 }
 
+/// The CSR structural invariants, checked from scratch. Shared between
+/// construction-time validation ([`Csr::from_raw`]) and the runtime
+/// sanitizer ([`Csr::validate`]).
+fn check_csr_structure<I: Index>(
+    size: Dim2,
+    row_ptrs: &[I],
+    col_idxs: &[I],
+    n_values: usize,
+) -> Result<()> {
+    if row_ptrs.len() != size.rows + 1 {
+        return Err(GkoError::BadInput(format!(
+            "row_ptrs length {} does not match rows+1 = {}",
+            row_ptrs.len(),
+            size.rows + 1
+        )));
+    }
+    if col_idxs.len() != n_values {
+        return Err(GkoError::BadInput(format!(
+            "col_idxs length {} != values length {}",
+            col_idxs.len(),
+            n_values
+        )));
+    }
+    if row_ptrs[0] != I::zero() {
+        return Err(GkoError::BadInput("row_ptrs[0] must be 0".into()));
+    }
+    if row_ptrs[size.rows].to_usize() != n_values {
+        return Err(GkoError::BadInput(format!(
+            "row_ptrs[rows] = {} does not match nnz = {}",
+            row_ptrs[size.rows],
+            n_values
+        )));
+    }
+    for r in 0..size.rows {
+        let (lo, hi) = (row_ptrs[r].to_usize(), row_ptrs[r + 1].to_usize());
+        if lo > hi {
+            return Err(GkoError::BadInput(format!(
+                "row_ptrs must be non-decreasing (row {r})"
+            )));
+        }
+        if hi > n_values {
+            return Err(GkoError::BadInput(format!(
+                "row_ptrs[{}] = {hi} exceeds nnz = {n_values}",
+                r + 1
+            )));
+        }
+        let mut prev: Option<I> = None;
+        for &c in &col_idxs[lo..hi] {
+            if c.to_usize() >= size.cols {
+                return Err(GkoError::BadInput(format!(
+                    "column index {c} out of range in row {r}"
+                )));
+            }
+            if let Some(p) = prev {
+                if c <= p {
+                    return Err(GkoError::BadInput(format!(
+                        "column indices must be strictly increasing within row {r}"
+                    )));
+                }
+            }
+            prev = Some(c);
+        }
+    }
+    Ok(())
+}
+
 impl<V: Value, I: Index> Csr<V, I> {
     /// Matrix size.
     pub fn size(&self) -> Dim2 {
@@ -56,54 +122,7 @@ impl<V: Value, I: Index> Csr<V, I> {
         col_idxs: Vec<I>,
         values: Vec<V>,
     ) -> Result<Self> {
-        if row_ptrs.len() != size.rows + 1 {
-            return Err(GkoError::BadInput(format!(
-                "row_ptrs length {} does not match rows+1 = {}",
-                row_ptrs.len(),
-                size.rows + 1
-            )));
-        }
-        if col_idxs.len() != values.len() {
-            return Err(GkoError::BadInput(format!(
-                "col_idxs length {} != values length {}",
-                col_idxs.len(),
-                values.len()
-            )));
-        }
-        if row_ptrs[0] != I::zero() {
-            return Err(GkoError::BadInput("row_ptrs[0] must be 0".into()));
-        }
-        if row_ptrs[size.rows].to_usize() != values.len() {
-            return Err(GkoError::BadInput(format!(
-                "row_ptrs[rows] = {} does not match nnz = {}",
-                row_ptrs[size.rows],
-                values.len()
-            )));
-        }
-        for r in 0..size.rows {
-            let (lo, hi) = (row_ptrs[r].to_usize(), row_ptrs[r + 1].to_usize());
-            if lo > hi {
-                return Err(GkoError::BadInput(format!(
-                    "row_ptrs must be non-decreasing (row {r})"
-                )));
-            }
-            let mut prev: Option<I> = None;
-            for &c in &col_idxs[lo..hi] {
-                if c.to_usize() >= size.cols {
-                    return Err(GkoError::BadInput(format!(
-                        "column index {c} out of range in row {r}"
-                    )));
-                }
-                if let Some(p) = prev {
-                    if c <= p {
-                        return Err(GkoError::BadInput(format!(
-                            "column indices must be strictly increasing within row {r}"
-                        )));
-                    }
-                }
-                prev = Some(c);
-            }
-        }
+        check_csr_structure(size, &row_ptrs, &col_idxs, values.len())?;
         Ok(Csr {
             size,
             row_ptrs: Array::from_vec(exec, row_ptrs),
@@ -111,6 +130,40 @@ impl<V: Value, I: Index> Csr<V, I> {
             values: Array::from_vec(exec, values),
             strategy: SpmvStrategy::default(),
         })
+    }
+
+    /// Builds a CSR matrix from raw arrays **without** validating the
+    /// structure. Intended for trusted converters and for sanitizer tests
+    /// that need to construct deliberately corrupted matrices; anything
+    /// built this way should be passed through [`Csr::validate`] before a
+    /// kernel touches it.
+    pub fn from_raw_unchecked(
+        exec: &Executor,
+        size: Dim2,
+        row_ptrs: Vec<I>,
+        col_idxs: Vec<I>,
+        values: Vec<V>,
+    ) -> Self {
+        Csr {
+            size,
+            row_ptrs: Array::from_vec(exec, row_ptrs),
+            col_idxs: Array::from_vec(exec, col_idxs),
+            values: Array::from_vec(exec, values),
+            strategy: SpmvStrategy::default(),
+        }
+    }
+
+    /// Re-derives the CSR structural invariants from scratch: `row_ptrs`
+    /// length, monotonicity and endpoints, and in-range, per-row strictly
+    /// increasing column indices. The runtime sanitizer's entry point for
+    /// data that bypassed [`Csr::from_raw`]'s construction-time checks.
+    pub fn validate(&self) -> Result<()> {
+        check_csr_structure(
+            self.size,
+            self.row_ptrs.as_slice(),
+            self.col_idxs.as_slice(),
+            self.values.len(),
+        )
     }
 
     /// Builds from unsorted (row, col, value) triplets; duplicates are
@@ -169,6 +222,8 @@ impl<V: Value, I: Index> Csr<V, I> {
             }
         }
         Csr::from_triplets(dense.executor(), size, &triplets)
+            // lint: allow(panic): indices come from iterating `size`, so
+            // they are in bounds by construction.
             .expect("dense-derived triplets are always valid")
     }
 
@@ -285,6 +340,8 @@ impl<V: Value, I: Index> Csr<V, I> {
             }
         }
         Csr::from_raw(self.executor(), self.size.transposed(), t_rows, t_cols, t_vals)
+            // lint: allow(panic): counting sort of a valid CSR yields
+            // monotone row pointers and in-bounds, sorted columns.
             .expect("transpose of valid CSR is valid")
     }
 
@@ -309,6 +366,7 @@ impl<V: Value, I: Index> Csr<V, I> {
                     let target = c * nnz / chunks;
                     // First row whose end passes the target.
                     let row = rp.partition_point(|&p| p.to_usize() < target);
+                    // lint: allow(panic): `bounds` starts with a pushed 0.
                     let row = row.clamp(*bounds.last().unwrap(), m);
                     // Skewed nnz distributions (e.g. one dense row holding
                     // most of the matrix) make several targets resolve to
@@ -316,6 +374,7 @@ impl<V: Value, I: Index> Csr<V, I> {
                     // empty chunks that inflate the modeled per-chunk
                     // overhead and the pool's dispatch bookkeeping, so
                     // boundaries are deduplicated as they are produced.
+                    // lint: allow(panic): `bounds` is never emptied.
                     if row < m && row != *bounds.last().unwrap() {
                         bounds.push(row);
                     }

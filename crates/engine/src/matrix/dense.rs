@@ -82,6 +82,20 @@ impl<V: Value> Dense<V> {
         self.values.executor()
     }
 
+    /// Checks the storage length against the declared shape, and rejects
+    /// NaN/Inf entries (the dense format's only corruptible invariants).
+    pub fn validate(&self) -> Result<()> {
+        let expect = self.size.rows * self.size.cols;
+        if self.values.len() != expect {
+            return Err(GkoError::BadInput(format!(
+                "dense storage holds {} values but the shape {} needs {expect}",
+                self.values.len(),
+                self.size
+            )));
+        }
+        crate::sanitize::check_finite("dense", self.values.as_slice())
+    }
+
     /// Element access (host-side, for tests and small algorithms).
     pub fn at(&self, row: usize, col: usize) -> V {
         self.values.as_slice()[row * self.size.cols + col]
@@ -247,6 +261,8 @@ impl<V: Value> Dense<V> {
 
     /// Euclidean norm over all entries.
     pub fn compute_norm2(&self) -> f64 {
+        // lint: allow(panic): dot of a vector with itself cannot have a
+        // dimension mismatch.
         self.compute_dot(self).expect("dot with self").sqrt()
     }
 

@@ -84,6 +84,8 @@ impl<V: Value, I: Index> Ell<V, I> {
             }
         }
         Csr::from_triplets(self.executor(), self.size, &triplets)
+            // lint: allow(panic): a well-formed ELL only stores in-bounds
+            // columns, so the derived triplets satisfy the CSR contract.
             .expect("ELL-derived triplets are valid")
     }
 
@@ -100,6 +102,30 @@ impl<V: Value, I: Index> Ell<V, I> {
     /// Executor the matrix lives on.
     pub fn executor(&self) -> &Executor {
         self.values.executor()
+    }
+
+    /// Re-derives the ELL structural invariants: slot-major storage of
+    /// exactly `stored_per_row * rows` elements with every column index
+    /// (including padding slots) in range.
+    pub fn validate(&self) -> Result<()> {
+        let expect = self.stored_per_row * self.size.rows;
+        if self.col_idxs.len() != expect || self.values.len() != expect {
+            return Err(GkoError::BadInput(format!(
+                "ELL storage sizes ({} cols, {} values) do not match \
+                 stored_per_row * rows = {expect}",
+                self.col_idxs.len(),
+                self.values.len()
+            )));
+        }
+        for (slot, &c) in self.col_idxs.as_slice().iter().enumerate() {
+            if c.to_usize() >= self.size.cols {
+                return Err(GkoError::BadInput(format!(
+                    "ELL column index {c} at slot {slot} out of range for {}",
+                    self.size
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Work description: the padded element count is streamed.

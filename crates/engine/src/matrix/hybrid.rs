@@ -69,8 +69,11 @@ impl<V: Value, I: Index> Hybrid<V, I> {
         }
         let exec = csr.executor();
         let ell_csr = Csr::<V, I>::from_triplets(exec, size, &ell_triplets)
+            // lint: allow(panic): both halves of the split inherit the
+            // source CSR's in-bounds indices.
             .expect("split triplets are valid");
         let coo = Coo::<V, I>::from_triplets(exec, size, &coo_triplets)
+            // lint: allow(panic): same split — indices stay in bounds.
             .expect("split triplets are valid");
         Hybrid {
             size,
@@ -97,6 +100,8 @@ impl<V: Value, I: Index> Hybrid<V, I> {
             ));
         }
         Csr::from_triplets(self.executor(), self.size, &triplets)
+            // lint: allow(panic): merging the ELL and COO halves of a
+            // well-formed Hybrid keeps every index in bounds.
             .expect("merged triplets are valid")
     }
 
@@ -118,6 +123,20 @@ impl<V: Value, I: Index> Hybrid<V, I> {
     /// Matrix size.
     pub fn size(&self) -> Dim2 {
         self.size
+    }
+
+    /// Validates both halves and their agreement with the declared size.
+    pub fn validate(&self) -> Result<()> {
+        if self.ell.size() != self.size || self.coo.size() != self.size {
+            return Err(crate::base::error::GkoError::BadInput(format!(
+                "Hybrid parts disagree with declared size {}: ELL is {}, COO is {}",
+                self.size,
+                self.ell.size(),
+                self.coo.size()
+            )));
+        }
+        self.ell.validate()?;
+        self.coo.validate()
     }
 
     /// Combined work description (the two sub-kernels).

@@ -67,6 +67,7 @@ impl<V: Value, I: Index> Sellp<V, I> {
             slice_lengths.push(len);
             slice_offsets.push(slice_offsets[s] + len * slice_size);
         }
+        // lint: allow(panic): `slice_offsets` starts with a pushed 0.
         let total = *slice_offsets.last().unwrap();
         let mut col_idxs = vec![I::zero(); total];
         let mut values = vec![V::zero(); total];
@@ -118,6 +119,8 @@ impl<V: Value, I: Index> Sellp<V, I> {
             }
         }
         Csr::from_triplets(self.executor(), self.size, &triplets)
+            // lint: allow(panic): SELL-P stores only in-bounds columns, so
+            // the derived triplets satisfy the CSR contract.
             .expect("SELL-P-derived triplets are valid")
     }
 
@@ -134,6 +137,56 @@ impl<V: Value, I: Index> Sellp<V, I> {
     /// Executor the matrix lives on.
     pub fn executor(&self) -> &Executor {
         self.values.executor()
+    }
+
+    /// Re-derives the SELL-P structural invariants: slice bookkeeping
+    /// (counts, offsets, per-slice volumes) consistent with `slice_size`
+    /// and the row count, storage arrays matching the total volume, and
+    /// every column index (padding included) in range.
+    pub fn validate(&self) -> Result<()> {
+        if self.slice_size == 0 {
+            return Err(GkoError::BadInput("SELL-P slice_size must be positive".into()));
+        }
+        let n_slices = self.size.rows.div_ceil(self.slice_size);
+        if self.slice_lengths.len() != n_slices || self.slice_offsets.len() != n_slices + 1 {
+            return Err(GkoError::BadInput(format!(
+                "SELL-P slice bookkeeping ({} lengths, {} offsets) does not \
+                 match {n_slices} slices",
+                self.slice_lengths.len(),
+                self.slice_offsets.len()
+            )));
+        }
+        if self.slice_offsets.first() != Some(&0) {
+            return Err(GkoError::BadInput("SELL-P slice_offsets[0] must be 0".into()));
+        }
+        for s in 0..n_slices {
+            let volume = self.slice_lengths[s] * self.slice_size;
+            if self.slice_offsets[s + 1] != self.slice_offsets[s] + volume {
+                return Err(GkoError::BadInput(format!(
+                    "SELL-P slice {s} offset step {} does not match its \
+                     padded volume {volume}",
+                    self.slice_offsets[s + 1].wrapping_sub(self.slice_offsets[s])
+                )));
+            }
+        }
+        let total = self.slice_offsets[n_slices];
+        if self.col_idxs.len() != total || self.values.len() != total {
+            return Err(GkoError::BadInput(format!(
+                "SELL-P storage sizes ({} cols, {} values) do not match the \
+                 slice volume total {total}",
+                self.col_idxs.len(),
+                self.values.len()
+            )));
+        }
+        for (slot, &c) in self.col_idxs.as_slice().iter().enumerate() {
+            if c.to_usize() >= self.size.cols {
+                return Err(GkoError::BadInput(format!(
+                    "SELL-P column index {c} at slot {slot} out of range for {}",
+                    self.size
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// One chunk per slice: the padded slice volume is streamed.

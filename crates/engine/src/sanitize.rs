@@ -1,0 +1,520 @@
+//! Runtime sanitizer: machine-checks for invariants the engine otherwise
+//! only asserts in prose.
+//!
+//! Three independent facilities, all zero-cost until switched on:
+//!
+//! * **Chunk-overlap detection** ([`ClaimLog`]). The worker pool's
+//!   `PieceTable` is `Send + Sync` on the strength of one SAFETY sentence —
+//!   "each piece index is delivered to exactly one lane". With
+//!   [`Executor::enable_sanitizer`] on, every pool dispatch records which
+//!   lane claimed which piece index and, after the drain, verifies that the
+//!   claims form an exact partition of `0..n_chunks`: no overlap, nothing
+//!   missing, nothing out of range. A violation means the chunk planner or
+//!   the queue protocol is broken — i.e. undefined behavior was about to be
+//!   possible — so it fails loudly (panic) rather than returning an error a
+//!   caller could ignore.
+//! * **Structural validation** (`validate()` on every matrix format, plus
+//!   [`check_finite`]). The formats trust their invariants (monotone
+//!   `row_ptrs`, in-bounds columns, consistent slice layouts) after
+//!   construction; `validate()` re-derives them from scratch so corrupted
+//!   or hand-built data is caught before a kernel walks off a slice.
+//! * **Schedule perturbation** ([`stress_schedules`]). Reruns a chunked
+//!   kernel under seeded forced execution orders (and once on the real
+//!   pool) and compares results bitwise against the in-order serial run —
+//!   shaking out kernels whose output depends on scheduling order, which
+//!   the determinism story forbids.
+//!
+//! # Overhead model
+//!
+//! The sanitizer is designed so that the *disabled* path costs exactly one
+//! relaxed atomic load per pool dispatch (the [`Sanitizer::is_enabled`]
+//! check in `parallel_chunks`) — the same budget as the logging fast path —
+//! which is why `scripts/check_bench.sh` passes unchanged. When enabled,
+//! each dispatch pays one mutex push per executed chunk plus an `O(chunks)`
+//! verification sweep; validation sweeps are `O(nnz)` per call and only run
+//! where explicitly requested.
+//!
+//! [`Executor::enable_sanitizer`]: crate::executor::Executor::enable_sanitizer
+
+use crate::base::error::{GkoError, Result};
+use crate::base::types::Value;
+use crate::executor::pool::parallel_chunks;
+use crate::executor::Executor;
+use pygko_sim::rng::Xoshiro256pp;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------------
+// Chunk-overlap detection
+// ---------------------------------------------------------------------------
+
+/// Records which pool lane claimed which piece index during one job.
+///
+/// Lanes only ever push to their own slot, so the per-lane mutexes are
+/// uncontended; the cross-lane view is only assembled by [`ClaimLog::verify`]
+/// after the drain, when all lanes are quiescent.
+pub struct ClaimLog {
+    lanes: Vec<Mutex<Vec<usize>>>,
+}
+
+/// The ways a recorded claim set can fail to partition `0..n_pieces`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClaimViolation {
+    /// A piece index was claimed by two lanes (or twice by one) — the exact
+    /// condition under which `PieceTable` would hand out aliasing `&mut`s.
+    Overlap {
+        /// The doubly-claimed piece index.
+        piece: usize,
+        /// Lane that claimed it first.
+        first_lane: usize,
+        /// Lane that claimed it again.
+        second_lane: usize,
+    },
+    /// A claimed index lies outside `0..n_pieces`.
+    OutOfRange {
+        /// The offending piece index.
+        piece: usize,
+        /// Lane that claimed it.
+        lane: usize,
+        /// Number of pieces in the job.
+        n_pieces: usize,
+    },
+    /// A piece was never executed by any lane.
+    Missing {
+        /// The unclaimed piece index.
+        piece: usize,
+    },
+}
+
+impl fmt::Display for ClaimViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClaimViolation::Overlap {
+                piece,
+                first_lane,
+                second_lane,
+            } => write!(
+                f,
+                "piece {piece} claimed by lane {first_lane} and lane {second_lane} \
+                 — disjointness of parallel chunks is violated"
+            ),
+            ClaimViolation::OutOfRange {
+                piece,
+                lane,
+                n_pieces,
+            } => write!(
+                f,
+                "lane {lane} claimed piece {piece}, outside the job's range 0..{n_pieces}"
+            ),
+            ClaimViolation::Missing { piece } => {
+                write!(f, "piece {piece} was never claimed by any lane")
+            }
+        }
+    }
+}
+
+/// Counters describing one verified job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClaimSummary {
+    /// Pieces verified (equals the job's chunk count).
+    pub pieces: usize,
+    /// Lanes that executed at least one piece.
+    pub lanes_used: usize,
+}
+
+impl ClaimLog {
+    /// A log for a pool with `lanes` execution lanes.
+    pub fn new(lanes: usize) -> Self {
+        ClaimLog {
+            lanes: (0..lanes.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Records that `lane` executed piece `piece`. Lanes outside the
+    /// declared count are folded into the last slot so a miscounted lane id
+    /// still surfaces as a verification failure rather than a panic here.
+    pub fn record(&self, lane: usize, piece: usize) {
+        let slot = lane.min(self.lanes.len() - 1);
+        self.lanes[slot]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(piece);
+    }
+
+    /// Checks that the recorded claims are exactly a partition of
+    /// `0..n_pieces`: every index claimed once, by one lane, in range.
+    pub fn verify(&self, n_pieces: usize) -> std::result::Result<ClaimSummary, ClaimViolation> {
+        const UNCLAIMED: usize = usize::MAX;
+        let mut owner = vec![UNCLAIMED; n_pieces];
+        let mut lanes_used = 0usize;
+        for (lane, claims) in self.lanes.iter().enumerate() {
+            let claims = claims.lock().unwrap_or_else(|e| e.into_inner());
+            if !claims.is_empty() {
+                lanes_used += 1;
+            }
+            for &piece in claims.iter() {
+                if piece >= n_pieces {
+                    return Err(ClaimViolation::OutOfRange {
+                        piece,
+                        lane,
+                        n_pieces,
+                    });
+                }
+                if owner[piece] != UNCLAIMED {
+                    return Err(ClaimViolation::Overlap {
+                        piece,
+                        first_lane: owner[piece],
+                        second_lane: lane,
+                    });
+                }
+                owner[piece] = lane;
+            }
+        }
+        if let Some(piece) = owner.iter().position(|&o| o == UNCLAIMED) {
+            return Err(ClaimViolation::Missing { piece });
+        }
+        Ok(ClaimSummary {
+            pieces: n_pieces,
+            lanes_used,
+        })
+    }
+}
+
+/// Aborts the dispatch on a claim violation.
+///
+/// Called from `parallel_chunks` after the drain; a violated partition means
+/// aliasing `&mut` slices were (or would have been) handed out, so
+/// continuing is not an option and the error cannot be deferred to a
+/// `Result` the kernel has no channel for.
+pub(crate) fn report_claim_violation(v: &ClaimViolation) -> ! {
+    panic!("sanitizer: chunk-overlap detector tripped: {v}");
+}
+
+// ---------------------------------------------------------------------------
+// Per-executor sanitizer state
+// ---------------------------------------------------------------------------
+
+/// Per-executor sanitizer switch and counters.
+///
+/// Embedded directly in the executor (no allocation, no indirection) so the
+/// disabled fast path is a single relaxed load — mirroring how the logging
+/// registry keeps instrumented kernels free when nobody listens.
+#[derive(Debug, Default)]
+pub struct Sanitizer {
+    enabled: AtomicBool,
+    jobs_checked: AtomicU64,
+    pieces_checked: AtomicU64,
+}
+
+/// Snapshot of a [`Sanitizer`]'s counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SanitizerReport {
+    /// Pool dispatches whose claim partition was verified.
+    pub jobs_checked: u64,
+    /// Total piece indices covered by those verifications.
+    pub pieces_checked: u64,
+}
+
+impl Sanitizer {
+    /// A disabled sanitizer (the executor's initial state).
+    pub(crate) fn new() -> Self {
+        Sanitizer::default()
+    }
+
+    /// Whether claim verification is currently on (one relaxed load).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Credits one verified job.
+    pub(crate) fn note_job(&self, pieces: usize) {
+        self.jobs_checked.fetch_add(1, Ordering::Relaxed);
+        self.pieces_checked
+            .fetch_add(pieces as u64, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    pub fn report(&self) -> SanitizerReport {
+        SanitizerReport {
+            jobs_checked: self.jobs_checked.load(Ordering::Relaxed),
+            pieces_checked: self.pieces_checked.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value poisoning checks
+// ---------------------------------------------------------------------------
+
+/// Rejects NaN/Inf entries: returns `GkoError::BadInput` naming the first
+/// poisoned index. `what` labels the buffer in the error message (e.g.
+/// `"solution"`, `"rhs"`).
+pub fn check_finite<V: Value>(what: &str, values: &[V]) -> Result<()> {
+    for (i, v) in values.iter().enumerate() {
+        let x = v.to_f64();
+        if !x.is_finite() {
+            return Err(GkoError::BadInput(format!(
+                "sanitizer: {what}[{i}] is {x} (non-finite)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Schedule-perturbation stress harness
+// ---------------------------------------------------------------------------
+
+/// Where a schedule-perturbed rerun diverged from the in-order serial run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleDivergence {
+    /// The schedule that produced the divergent result.
+    pub schedule: Schedule,
+    /// First element index whose value differs from the reference.
+    pub index: usize,
+}
+
+/// The execution schedule of one stress-harness rerun.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// Chunks executed serially in a seeded random permutation.
+    Permuted {
+        /// Perturbation round (0-based).
+        round: usize,
+        /// The PRNG seed that generated the permutation.
+        seed: u64,
+    },
+    /// Chunks executed concurrently on the executor's real worker pool.
+    Pool,
+}
+
+impl fmt::Display for ScheduleDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.schedule {
+            Schedule::Permuted { round, seed } => write!(
+                f,
+                "output[{}] diverged under permuted chunk order (round {round}, seed {seed})",
+                self.index
+            ),
+            Schedule::Pool => write!(
+                f,
+                "output[{}] diverged between serial and pool execution",
+                self.index
+            ),
+        }
+    }
+}
+
+/// Reruns a chunked kernel under perturbed schedules and compares results
+/// bitwise against the in-order serial execution.
+///
+/// The kernel `f(chunk_index, chunk_slice)` is applied to `init` split at
+/// `bounds` (the same contract as `parallel_chunks`):
+///
+/// 1. once serially in order `0, 1, 2, …` — the reference;
+/// 2. `rounds` times serially in seeded random chunk orders (each round
+///    reseeds with `seed + round`, so failures name a reproducing seed);
+/// 3. once on `exec`'s real worker pool, with stealing.
+///
+/// Any mismatch is reported as a [`ScheduleDivergence`]; a kernel that
+/// writes only its own chunk and reads only immutable state cannot diverge,
+/// so a failure localizes a scheduling-order dependence.
+pub fn stress_schedules<T, F>(
+    exec: &Executor,
+    init: &[T],
+    bounds: &[usize],
+    rounds: usize,
+    seed: u64,
+    f: F,
+) -> std::result::Result<(), ScheduleDivergence>
+where
+    T: Clone + PartialEq + Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunks = bounds.len().saturating_sub(1);
+    let run_in_order = |order: &[usize]| -> Vec<T> {
+        let mut data = init.to_vec();
+        for &i in order {
+            f(i, &mut data[bounds[i]..bounds[i + 1]]);
+        }
+        data
+    };
+    let in_order: Vec<usize> = (0..chunks).collect();
+    let reference = run_in_order(&in_order);
+
+    for round in 0..rounds {
+        let round_seed = seed.wrapping_add(round as u64);
+        let mut rng = Xoshiro256pp::seed_from_u64(round_seed);
+        let mut order = in_order.clone();
+        rng.shuffle(&mut order);
+        let got = run_in_order(&order);
+        if let Some(index) = first_mismatch(&reference, &got) {
+            return Err(ScheduleDivergence {
+                schedule: Schedule::Permuted {
+                    round,
+                    seed: round_seed,
+                },
+                index,
+            });
+        }
+    }
+
+    let mut pooled = init.to_vec();
+    parallel_chunks(exec, &mut pooled, bounds, &f);
+    if let Some(index) = first_mismatch(&reference, &pooled) {
+        return Err(ScheduleDivergence {
+            schedule: Schedule::Pool,
+            index,
+        });
+    }
+    Ok(())
+}
+
+fn first_mismatch<T: PartialEq>(a: &[T], b: &[T]) -> Option<usize> {
+    a.iter().zip(b.iter()).position(|(x, y)| x != y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_partition_verifies() {
+        let log = ClaimLog::new(3);
+        log.record(0, 0);
+        log.record(0, 1);
+        log.record(1, 2);
+        log.record(2, 3);
+        let summary = log.verify(4).expect("disjoint partition");
+        assert_eq!(summary.pieces, 4);
+        assert_eq!(summary.lanes_used, 3);
+    }
+
+    #[test]
+    fn overlap_is_detected() {
+        let log = ClaimLog::new(2);
+        log.record(0, 0);
+        log.record(0, 1);
+        log.record(1, 1); // lane 1 re-claims piece 1
+        log.record(1, 2);
+        match log.verify(3) {
+            Err(ClaimViolation::Overlap {
+                piece,
+                first_lane,
+                second_lane,
+            }) => {
+                assert_eq!(piece, 1);
+                assert_eq!(first_lane, 0);
+                assert_eq!(second_lane, 1);
+            }
+            other => panic!("expected overlap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_lane_double_execution_is_an_overlap() {
+        let log = ClaimLog::new(2);
+        log.record(0, 0);
+        log.record(0, 0);
+        assert!(matches!(
+            log.verify(1),
+            Err(ClaimViolation::Overlap { piece: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn missing_piece_is_detected() {
+        let log = ClaimLog::new(2);
+        log.record(0, 0);
+        log.record(1, 2);
+        assert_eq!(log.verify(3), Err(ClaimViolation::Missing { piece: 1 }));
+    }
+
+    #[test]
+    fn out_of_range_claim_is_detected() {
+        let log = ClaimLog::new(2);
+        log.record(0, 0);
+        log.record(1, 7);
+        assert_eq!(
+            log.verify(2),
+            Err(ClaimViolation::OutOfRange {
+                piece: 7,
+                lane: 1,
+                n_pieces: 2
+            })
+        );
+    }
+
+    #[test]
+    fn violations_render_diagnostics() {
+        let v = ClaimViolation::Overlap {
+            piece: 3,
+            first_lane: 0,
+            second_lane: 2,
+        };
+        let msg = v.to_string();
+        assert!(msg.contains("piece 3"));
+        assert!(msg.contains("lane 0"));
+        assert!(msg.contains("lane 2"));
+    }
+
+    #[test]
+    fn check_finite_accepts_and_rejects() {
+        assert!(check_finite("x", &[1.0f64, -2.5, 0.0]).is_ok());
+        let err = check_finite("solution", &[1.0f64, f64::NAN]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("solution[1]"), "got {msg}");
+        assert!(check_finite("x", &[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn stress_passes_for_disjoint_kernel() {
+        let init = vec![0u64; 100];
+        let bounds: Vec<usize> = (0..=10).map(|i| i * 10).collect();
+        let result = stress_schedules(&Executor::omp(4), &init, &bounds, 5, 42, |i, s| {
+            for (k, v) in s.iter_mut().enumerate() {
+                *v = (i * 1000 + k) as u64;
+            }
+        });
+        assert_eq!(result, Ok(()));
+    }
+
+    #[test]
+    fn stress_catches_order_dependent_kernel() {
+        use std::sync::atomic::AtomicU64;
+        // A kernel that (wrongly) depends on global execution order: each
+        // chunk writes a global ticket number instead of a pure function of
+        // its index.
+        let ticket = AtomicU64::new(0);
+        let init = vec![0u64; 8];
+        let bounds: Vec<usize> = (0..=8).collect();
+        let result = stress_schedules(&Executor::reference(), &init, &bounds, 4, 7, |_, s| {
+            s[0] = ticket.fetch_add(1, Ordering::Relaxed);
+        });
+        let err = result.expect_err("order dependence must be caught");
+        assert!(matches!(err.schedule, Schedule::Permuted { .. }));
+    }
+
+    #[test]
+    fn sanitizer_counters_start_zero() {
+        let s = Sanitizer::new();
+        assert!(!s.is_enabled());
+        assert_eq!(s.report(), SanitizerReport::default());
+        s.set_enabled(true);
+        assert!(s.is_enabled());
+        s.note_job(16);
+        assert_eq!(
+            s.report(),
+            SanitizerReport {
+                jobs_checked: 1,
+                pieces_checked: 16
+            }
+        );
+    }
+}

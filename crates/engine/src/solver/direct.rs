@@ -11,6 +11,7 @@ use crate::base::types::{Index, Value};
 use crate::executor::Executor;
 use crate::factorization::lu::DenseLu;
 use crate::linop::{check_apply_dims, LinOp};
+use crate::log::OpTimer;
 use crate::matrix::csr::Csr;
 use crate::matrix::dense::Dense;
 use pygko_sim::ChunkWork;
@@ -58,6 +59,7 @@ impl<V: Value> LinOp<V> for Direct<V> {
 
     fn apply(&self, b: &Dense<V>, x: &mut Dense<V>) -> Result<()> {
         check_apply_dims::<V>(self.size, b, x)?;
+        let _timer = OpTimer::new(&self.exec, "solver::Direct");
         let n = self.size.rows;
         let k = b.size().cols;
         let bv = b.as_slice();

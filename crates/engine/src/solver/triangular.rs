@@ -11,6 +11,7 @@ use crate::base::error::{GkoError, Result};
 use crate::base::types::{Index, Value};
 use crate::executor::Executor;
 use crate::linop::{check_apply_dims, LinOp};
+use crate::log::OpTimer;
 use crate::matrix::csr::Csr;
 use crate::matrix::dense::Dense;
 use pygko_sim::ChunkWork;
@@ -44,6 +45,13 @@ impl<V: Value, I: Index> Trs<V, I> {
 
     fn solve(&self, b: &Dense<V>, x: &mut Dense<V>) -> Result<()> {
         check_apply_dims::<V>(self.matrix.size(), b, x)?;
+        let _timer = OpTimer::new(
+            self.matrix.executor(),
+            match self.half {
+                Half::Lower => "solver::LowerTrs",
+                Half::Upper => "solver::UpperTrs",
+            },
+        );
         let n = self.matrix.size().rows;
         let k = b.size().cols;
         let rp = self.matrix.row_ptrs();

@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# Static lint gate driver: runs the in-tree lint_gate over the workspace,
+# then proves the gate still has teeth — first with its built-in per-rule
+# self-test, then by injecting a real violation into the scanned tree and
+# demanding a nonzero exit that names the injected file and line. Run from
+# anywhere; operates on the workspace containing this script.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p pygko-analysis --bin lint_gate
+
+# 1. The committed tree must be clean.
+./target/release/lint_gate
+
+# 2. Per-rule self-test: every rule fires on its known-bad snippet and
+#    stays silent on the known-good twin.
+./target/release/lint_gate --self-test >/dev/null
+
+# 3. End-to-end self-test: an injected bare unwrap inside a panic-free
+#    directory must be caught with a file:line diagnostic. The file is
+#    unreferenced (not in any mod tree), so cargo never compiles it, and
+#    the trap removes it even on failure.
+INJECT="crates/engine/src/executor/lint_selftest_injected.rs"
+trap 'rm -f "$INJECT"' EXIT
+cat > "$INJECT" <<'EOF'
+// Scratch file written by scripts/check_lint.sh; deleted on exit.
+pub fn injected() -> usize {
+    let x: Option<usize> = None;
+    x.unwrap()
+}
+EOF
+if OUT=$(./target/release/lint_gate 2>&1); then
+    echo "check_lint: FAIL — gate accepted an injected unwrap violation" >&2
+    exit 1
+fi
+case "$OUT" in
+*"lint_selftest_injected.rs:4"*) ;;
+*)
+    echo "check_lint: FAIL — diagnostic did not name the injected file:line" >&2
+    echo "$OUT" >&2
+    exit 1
+    ;;
+esac
+rm -f "$INJECT"
+
+echo "check_lint: tree clean; gate catches injected violation (self-test OK)"

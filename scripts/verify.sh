@@ -10,6 +10,9 @@ RUSTFLAGS="-D warnings" cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Static lint gate (plus its injected-violation self-test).
+./scripts/check_lint.sh
+
 # Smoke-run a real benchmark binary end to end (quick suite). Quick-mode
 # output goes to a scratch directory so it never overwrites the committed
 # full-size results/ files.

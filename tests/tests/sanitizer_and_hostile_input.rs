@@ -1,0 +1,170 @@
+//! Sanitizer surface at the facade, plus hostile Matrix Market inputs: the
+//! parser must reject malformed/adversarial files with line-numbered errors
+//! (never panic or over-allocate), `SparseMatrix::validate` must pass on
+//! facade-built matrices, and `Solver::with_sanitizer` must arm the pool
+//! overlap detector and the NaN/Inf operand checks.
+
+use pyginkgo as pg;
+use pyginkgo_integration_tests::{residual, spd_system};
+use pygko_mtx::read_mtx;
+
+// ---------------------------------------------------------------------------
+// Hostile read_mtx inputs: errors, not panics
+// ---------------------------------------------------------------------------
+
+/// Every hostile input must come back as a structured parse error — the
+/// point of the corpus is that none of them panics, hangs, or allocates
+/// anything near the declared (bogus) sizes.
+#[test]
+fn hostile_mtx_inputs_fail_cleanly() {
+    let hostile: &[(&str, &str)] = &[
+        ("empty", ""),
+        ("whitespace only", "   \n\t\n  \n"),
+        ("garbage header", "hello world\n1 1 1\n1 1 1.0\n"),
+        ("wrong banner", "%%MatrixMarket tensor coordinate real general\n"),
+        ("header only", "%%MatrixMarket matrix coordinate real general\n"),
+        (
+            "absurd declared nnz",
+            "%%MatrixMarket matrix coordinate real general\n10 10 99999999999999\n1 1 1.0\n",
+        ),
+        (
+            "truncated entries",
+            "%%MatrixMarket matrix coordinate real general\n3 3 3\n1 1 1.0\n",
+        ),
+        (
+            "extra entries",
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n2 2 2.0\n",
+        ),
+        (
+            "out-of-range index",
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n",
+        ),
+        (
+            "zero (one-based) index",
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n",
+        ),
+        (
+            "non-numeric value",
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n",
+        ),
+        (
+            "non-numeric dims",
+            "%%MatrixMarket matrix coordinate real general\nx y z\n",
+        ),
+        (
+            "negative dims",
+            "%%MatrixMarket matrix coordinate real general\n-3 -3 1\n1 1 1.0\n",
+        ),
+        (
+            "binary junk",
+            "%%MatrixMarket matrix coordinate real general\n\u{0}\u{1}\u{2}\u{fffd}\n",
+        ),
+    ];
+    for (what, text) in hostile {
+        let got = read_mtx(text.as_bytes());
+        assert!(got.is_err(), "{what}: hostile input must be rejected");
+    }
+}
+
+/// A parse error points at the offending line, so a hostile file is
+/// diagnosable rather than a bare "invalid input".
+#[test]
+fn hostile_mtx_errors_carry_line_numbers() {
+    let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n9 9 1.0\n";
+    let err = read_mtx(text.as_bytes()).expect_err("row 9 of 2");
+    let msg = err.to_string();
+    assert!(msg.contains('4'), "error should name line 4: {msg}");
+}
+
+/// Sanity: the corpus above is hostile, not the parser — a well-formed file
+/// still parses.
+#[test]
+fn well_formed_mtx_still_parses() {
+    let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.5\n2 2 2.5\n";
+    let data = read_mtx(text.as_bytes()).expect("clean file");
+    assert_eq!((data.rows, data.cols), (2, 2));
+    assert_eq!(data.entries.len(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// SparseMatrix::validate on the facade
+// ---------------------------------------------------------------------------
+
+#[test]
+fn facade_matrices_validate_clean() {
+    let dev = pg::device("reference").unwrap();
+    for format in ["Csr", "Coo"] {
+        for dtype in ["half", "float", "double"] {
+            let m = spd_system(&dev, 20, dtype, format);
+            m.validate()
+                .unwrap_or_else(|e| panic!("{format}/{dtype}: {e}"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Solver::with_sanitizer
+// ---------------------------------------------------------------------------
+
+#[test]
+fn with_sanitizer_pool_verifies_solver_kernels() {
+    let dev = pg::device("omp").unwrap();
+    let mtx = spd_system(&dev, 300, "double", "Csr");
+    let b = pg::as_tensor_fill(&dev, (300, 1), "double", 1.0).unwrap();
+    let mut x = pg::as_tensor_fill(&dev, (300, 1), "double", 0.0).unwrap();
+    let solver = pg::solver::cg(&dev, &mtx, None, 200, 1e-10)
+        .unwrap()
+        .with_sanitizer("pool")
+        .unwrap();
+    let log = solver.apply(&b, &mut x).unwrap();
+    assert!(log.converged(), "{}", log.stop_reason());
+    assert!(residual(&mtx, &b, &x) < 1e-6);
+    let report = solver.sanitizer_report();
+    assert!(
+        report.jobs_checked > 0,
+        "CG's SpMV/axpy pool jobs must be claim-verified: {report:?}"
+    );
+    assert!(report.pieces_checked >= report.jobs_checked);
+}
+
+#[test]
+fn with_sanitizer_values_rejects_poisoned_rhs() {
+    let dev = pg::device("reference").unwrap();
+    let mtx = spd_system(&dev, 10, "double", "Csr");
+    let mut b = pg::as_tensor_fill(&dev, (10, 1), "double", 1.0).unwrap();
+    b.set(3, 0, f64::NAN).unwrap();
+    let mut x = pg::as_tensor_fill(&dev, (10, 1), "double", 0.0).unwrap();
+    let solver = pg::solver::cg(&dev, &mtx, None, 50, 1e-10)
+        .unwrap()
+        .with_sanitizer("values")
+        .unwrap();
+    let err = solver.apply(&b, &mut x).expect_err("NaN rhs must be rejected");
+    let msg = err.to_string();
+    assert!(msg.contains("rhs"), "error names the operand: {msg}");
+
+    // The same solve with finite inputs passes the pre- and post-checks.
+    let b = pg::as_tensor_fill(&dev, (10, 1), "double", 1.0).unwrap();
+    let log = solver.apply(&b, &mut x).unwrap();
+    assert!(log.converged());
+}
+
+#[test]
+fn with_sanitizer_full_combines_both_and_rejects_bad_modes() {
+    let dev = pg::device("omp").unwrap();
+    let mtx = spd_system(&dev, 100, "double", "Csr");
+    let b = pg::as_tensor_fill(&dev, (100, 1), "double", 1.0).unwrap();
+    let mut x = pg::as_tensor_fill(&dev, (100, 1), "double", 0.0).unwrap();
+    let solver = pg::solver::cg(&dev, &mtx, None, 200, 1e-10)
+        .unwrap()
+        .with_sanitizer("full")
+        .unwrap();
+    let log = solver.apply(&b, &mut x).unwrap();
+    assert!(log.converged());
+    assert!(solver.sanitizer_report().jobs_checked > 0);
+
+    let plain = pg::solver::cg(&dev, &mtx, None, 10, 1e-6).unwrap();
+    assert!(
+        matches!(plain.with_sanitizer("bogus"), Err(pg::PyGinkgoError::Value(_))),
+        "unknown sanitizer modes are value errors"
+    );
+}
