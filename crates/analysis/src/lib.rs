@@ -81,10 +81,15 @@ const PANIC_FREE_DIRS: &[&str] = &[
     "crates/engine/src/matrix/",
     "crates/engine/src/solver/",
     "crates/engine/src/executor/",
+    "crates/engine/src/telemetry/",
 ];
 
 /// Directories where `apply`/SpMV entry points must be instrumented.
-const INSTRUMENTED_DIRS: &[&str] = &["crates/engine/src/matrix/", "crates/engine/src/solver/"];
+const INSTRUMENTED_DIRS: &[&str] = &[
+    "crates/engine/src/matrix/",
+    "crates/engine/src/solver/",
+    "crates/engine/src/telemetry/",
+];
 
 /// Files/trees allowed to read wall clocks or touch `std::process`: the
 /// logging and metrics layers (whose whole job is real-time observation),

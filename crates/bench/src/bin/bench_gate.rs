@@ -15,6 +15,11 @@
 //! per-executor metrics sections. Missing records fail the gate, so a
 //! format or executor silently dropped from the sweep is caught too.
 //!
+//! The gate also refuses a candidate whose per-executor metrics carry a
+//! nonzero `anomalies_total` — a sweep that tripped a flight-recorder
+//! detector is not a clean benchmark run. Baselines written before that
+//! field existed stay comparable (only candidate values are inspected).
+//!
 //! Environment knobs:
 //!
 //! * `BENCH_GATE_TOLERANCE` — allowed slowdown ratio (default 1.25). The
@@ -121,10 +126,28 @@ fn main() {
     );
 
     let baseline = flatten(&load(&baseline_path));
-    let candidate = flatten(&load(&candidate_path));
+    let candidate_doc = load(&candidate_path);
+    let candidate = flatten(&candidate_doc);
     if baseline.is_empty() {
         eprintln!("bench_gate: baseline has no comparable rows");
         std::process::exit(2);
+    }
+
+    // Flight-recorder verdict: a candidate executor section with a nonzero
+    // anomaly count fails the gate outright.
+    let mut anomalous: Vec<String> = Vec::new();
+    for m in candidate_doc
+        .get("metrics")
+        .and_then(Config::as_array)
+        .unwrap_or(&[])
+    {
+        let n = m
+            .get("anomalies_total")
+            .and_then(Config::as_int)
+            .unwrap_or(0);
+        if n > 0 {
+            anomalous.push(format!("{} ({n} anomalies)", str_field(m, "executor")));
+        }
     }
 
     let mut checks: Vec<Check> = Vec::new();
@@ -161,10 +184,11 @@ fn main() {
     }
 
     println!(
-        "bench_gate: {} rows compared, {} missing, {} regressed",
+        "bench_gate: {} rows compared, {} missing, {} regressed, {} anomalous",
         checks.len(),
         missing.len(),
-        regressions.len()
+        regressions.len(),
+        anomalous.len()
     );
     for m in &missing {
         eprintln!("  MISSING   {m}");
@@ -179,7 +203,10 @@ fn main() {
             c.candidate / c.baseline
         );
     }
-    if !missing.is_empty() || !regressions.is_empty() {
+    for a in &anomalous {
+        eprintln!("  ANOMALOUS {a}");
+    }
+    if !missing.is_empty() || !regressions.is_empty() || !anomalous.is_empty() {
         std::process::exit(1);
     }
     println!("bench_gate: OK");

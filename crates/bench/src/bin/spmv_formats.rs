@@ -80,13 +80,16 @@ fn main() {
     let mut records: Vec<Record> = Vec::new();
     // One profiler per executor observes every kernel of that executor's
     // sweep (including warm-up applies and format conversions); the metrics
-    // registry additionally folds the same stream into latency histograms.
+    // registry additionally folds the same stream into latency histograms,
+    // and the flight recorder's anomaly counters ride along so `bench_gate`
+    // can refuse a run that tripped a detector.
     let mut profiles: Vec<(String, usize, ProfilerSummary)> = Vec::new();
     let mut metrics: Vec<(String, usize, MetricsSnapshot)> = Vec::new();
     for (name, threads, exec) in &executors {
         let profiler = Arc::new(Profiler::new());
         exec.add_logger(profiler.clone());
         exec.enable_metrics();
+        exec.enable_flight_recorder();
         let csr = Csr::<f64, i32>::from_triplets(exec, dim, &gen.triplets).unwrap();
         let b = Dense::<f64>::vector(exec, gen.cols, 1.0);
         let mut x = Dense::zeros(exec, Dim2::new(gen.rows, 1));
@@ -257,6 +260,10 @@ fn main() {
                 .with("events", snap.events as i64)
                 .with("pool_dispatches", snap.pool_dispatch_ns.count as i64)
                 .with("allocations", snap.alloc_bytes.count as i64)
+                .with(
+                    "anomalies_total",
+                    snap.anomalies.iter().map(|(_, n)| *n).sum::<u64>() as i64,
+                )
                 .with("kernels", kernels)
         })
         .collect();

@@ -1,0 +1,240 @@
+//! End-to-end probe of the live telemetry plane, run by
+//! `scripts/check_telemetry.sh`.
+//!
+//! Drives a full CG solve on a 2D Poisson matrix (~1.8M nnz, or a small
+//! grid under `PYGKO_BENCH_QUICK=1`) through the pyGinkgo facade with the
+//! flight recorder armed and the HTTP exporter serving, then scrapes all
+//! three endpoints over a raw `TcpStream` (no external HTTP client) and
+//! checks the whole contract:
+//!
+//! * `/metrics` parses under the strict in-tree Prometheus validator and
+//!   carries one labelled series triple per pool lane;
+//! * `/healthz` is valid JSON and reports the recorder armed;
+//! * `/runs` holds the solve's report — converged, anomaly-free, annotated
+//!   with the system matrix;
+//! * the anomaly detectors pass their self-tests (each injected fault fires
+//!   exactly its own anomaly kind, and only under persistence);
+//! * shutdown is clean (the port stops accepting).
+//!
+//! Any violated expectation panics, which exits nonzero for the CI script.
+//!
+//! `cargo run --release -p pygko-bench --bin telemetry_probe`
+
+use gko::config::Config;
+use gko::log::{Event, Logger as _};
+use gko::stop::StopReason;
+use gko::telemetry::{prom, Anomaly, DetectorConfig, FlightRecorder};
+use gko::LaneStats;
+use pygko_bench::quick_mode;
+use pygko_matgen::generators::poisson2d;
+use pyginkgo as pg;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to telemetry server");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: probe\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("response is UTF-8");
+    let (head, body) = text.split_once("\r\n\r\n").expect("header/body split");
+    (head.lines().next().unwrap_or("").to_string(), body.to_string())
+}
+
+/// The three detectors, each fed its own injected fault and a healthy
+/// control, through the same pure functions the recorder uses.
+fn detector_self_tests() {
+    let cfg = DetectorConfig::default();
+
+    // Convergence: plateau -> Stagnation, runaway growth -> Divergence,
+    // steady improvement -> clean.
+    let plateau = vec![1.0; cfg.stagnation_window + 1];
+    assert!(matches!(
+        gko::telemetry::recorder::detect_convergence(1.0, &plateau, false, &cfg),
+        Some(Anomaly::Stagnation { .. })
+    ));
+    let runaway: Vec<f64> = (0..=cfg.stagnation_window)
+        .map(|i| 10.0f64.powi(i as i32))
+        .collect();
+    assert!(matches!(
+        gko::telemetry::recorder::detect_convergence(1e-3, &runaway, false, &cfg),
+        Some(Anomaly::Divergence { .. })
+    ));
+    let improving: Vec<f64> = (0..=cfg.stagnation_window)
+        .map(|i| 0.5f64.powi(i as i32))
+        .collect();
+    assert_eq!(
+        gko::telemetry::recorder::detect_convergence(1.0, &improving, false, &cfg),
+        None
+    );
+
+    // Lane imbalance: one hot lane at scale fires; balanced lanes don't.
+    let lane = |busy_ns| LaneStats {
+        chunks: 1,
+        steals: 0,
+        busy_ns,
+    };
+    assert!(matches!(
+        gko::telemetry::recorder::detect_lane_imbalance(
+            &[lane(40_000_000), lane(0), lane(0), lane(0)],
+            &cfg
+        ),
+        Some(Anomaly::LaneImbalance { lane: 0, .. })
+    ));
+    assert_eq!(
+        gko::telemetry::recorder::detect_lane_imbalance(&[lane(5_000_000); 4], &cfg),
+        None
+    );
+
+    // Latency drift end to end through a detached recorder: persistence
+    // withholds the first slow solve, the second fires exactly one
+    // LatencyDrift, and a tail-only spike never fires.
+    let rec = FlightRecorder::detached(DetectorConfig::default());
+    let solve = |wall_ns: u64| {
+        for _ in 0..8 {
+            rec.on_event(&Event::LinOpApplyCompleted {
+                op: "csr",
+                wall_ns,
+                virtual_ns: 0,
+            });
+        }
+        rec.on_event(&Event::SolveCompleted {
+            solver: "solver::Cg",
+            iterations: 8,
+            residual: 1e-12,
+            reason: StopReason::ResidualReduction,
+        });
+    };
+    for _ in 0..3 {
+        solve(1_000);
+    }
+    solve(1_000_000);
+    assert!(rec.latest().unwrap().anomalies.is_empty(), "withheld once");
+    solve(1_000_000);
+    let anomalies = rec.latest().unwrap().anomalies;
+    assert_eq!(anomalies.len(), 1);
+    assert!(matches!(anomalies[0], Anomaly::LatencyDrift { .. }));
+    println!("telemetry_probe: detector self-tests OK");
+}
+
+fn main() {
+    detector_self_tests();
+
+    let grid = if quick_mode() { 120 } else { 600 };
+    let gen = poisson2d("poisson2d", grid, grid);
+    let (rows, nnz) = (gen.rows, gen.nnz());
+    println!("telemetry_probe: poisson2d_{grid} ({rows} rows, {nnz} nnz)");
+
+    // Two pool lanes: enough for labelled per-lane series, few enough that
+    // the imbalance bound (max/mean <= lanes) sits below the detector's
+    // default threshold even on a single-core host.
+    let dev = pg::device_with_id("omp", 2).expect("omp device");
+    let m = pg::SparseMatrix::from_triplets(
+        &dev,
+        (gen.rows, gen.cols),
+        &gen.triplets,
+        "double",
+        "int32",
+        "Csr",
+    )
+    .expect("assemble matrix");
+    let solver = pg::solver::cg(&dev, &m, None, 20 * grid, 1e-8)
+        .expect("build cg")
+        .with_flight_recorder();
+    let server = dev
+        .executor()
+        .serve_telemetry("127.0.0.1:0")
+        .expect("start exporter");
+    let addr = server.addr();
+    println!("telemetry_probe: serving on http://{addr} (try: curl http://{addr}/metrics)");
+
+    let b = pg::as_tensor_fill(&dev, (rows, 1), "double", 1.0).expect("rhs");
+    let mut x = pg::as_tensor_fill(&dev, (rows, 1), "double", 0.0).expect("x0");
+    let logger = solver.apply(&b, &mut x).expect("solve");
+    assert!(
+        logger.converged(),
+        "reference solve must converge (stopped after {} iterations)",
+        logger.iterations()
+    );
+    println!(
+        "telemetry_probe: CG converged in {} iterations (residual {:.3e})",
+        logger.iterations(),
+        logger.final_residual()
+    );
+
+    // --- /metrics ---
+    let (status, metrics) = http_get(addr, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    prom::validate(&metrics).expect("/metrics passes the strict validator");
+    let lanes = dev.executor().pool_lane_stats().len();
+    assert!(lanes >= 2, "omp pool spun {lanes} lanes");
+    for lane in 0..lanes {
+        for series in [
+            "gko_pool_lane_chunks_total",
+            "gko_pool_lane_steals_total",
+            "gko_pool_lane_busy_ns_total",
+        ] {
+            let needle = format!("{series}{{lane=\"{lane}\"}}");
+            assert!(metrics.contains(&needle), "missing {needle}");
+        }
+    }
+    assert!(metrics.contains("gko_solves_total 1"), "solve counted");
+    assert!(
+        !metrics.contains("gko_anomalies_total{"),
+        "healthy solve produced anomaly samples:\n{metrics}"
+    );
+    println!("telemetry_probe: /metrics OK ({} lanes labelled)", lanes);
+
+    // --- /healthz ---
+    let (status, health) = http_get(addr, "/healthz");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let health = Config::from_json(&health).expect("/healthz is valid JSON");
+    assert_eq!(health.get("status").and_then(Config::as_str), Some("ok"));
+    let flight = health.get("flight_recorder").expect("flight_recorder key");
+    assert!(matches!(flight.get("enabled"), Some(Config::Bool(true))));
+    assert_eq!(flight.get("anomalies").and_then(Config::as_int), Some(0));
+    println!("telemetry_probe: /healthz OK");
+
+    // --- /runs ---
+    let (status, runs) = http_get(addr, "/runs");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let doc = Config::from_json(&runs).expect("/runs is valid JSON");
+    let reports = doc
+        .get("reports")
+        .and_then(Config::as_array)
+        .expect("reports array");
+    assert_eq!(reports.len(), 1, "exactly the probe's solve");
+    let report = &reports[0];
+    assert!(matches!(report.get("converged"), Some(Config::Bool(true))));
+    assert!(report
+        .get("anomalies")
+        .and_then(Config::as_array)
+        .expect("anomalies array")
+        .is_empty());
+    let matrix = report.get("matrix").expect("annotated with the system");
+    assert_eq!(
+        matrix.get("nnz").and_then(Config::as_int),
+        Some(nnz as i64)
+    );
+    assert!(!report
+        .get("kernels")
+        .and_then(Config::as_array)
+        .expect("kernels array")
+        .is_empty());
+
+    // The facade sees the same report.
+    let facade_report = solver.flight_report().expect("facade report");
+    assert!(facade_report.converged && facade_report.anomalies.is_empty());
+    println!("telemetry_probe: /runs OK (zero-anomaly report)");
+
+    server.shutdown();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "port must stop accepting after shutdown"
+    );
+    println!("telemetry_probe: shutdown clean — all checks passed");
+}

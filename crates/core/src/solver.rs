@@ -16,6 +16,7 @@ use crate::tensor::{Tensor, TensorData};
 use gko::log::{ConvergenceLogger, Profiler, Record, SharedBuf, Stream};
 use gko::solver::{BiCgStab, Cg, Cgs, Direct, Gmres, LowerTrs, UpperTrs};
 use gko::stop::Criteria;
+use gko::telemetry::{FlightRecorder, FlightReport};
 use gko::{LinOp, MetricsRegistry, MetricsSnapshot, Value};
 use pygko_half::Half;
 use std::sync::Arc;
@@ -36,6 +37,7 @@ struct AttachedLoggers {
     stream: Option<SharedBuf>,
     profiler: Option<Arc<Profiler>>,
     metrics: Option<Arc<MetricsRegistry>>,
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 /// A ready-to-apply solver bound to a device.
@@ -49,6 +51,9 @@ pub struct Solver {
     /// Check operand tensors for NaN/Inf around every apply — set by
     /// [`Solver::with_sanitizer`].
     sanitize_values: bool,
+    /// System matrix descriptor (rows, cols, nnz, format name), kept so the
+    /// flight recorder can annotate its reports.
+    system: Option<(usize, usize, usize, &'static str)>,
 }
 
 impl Solver {
@@ -150,6 +155,31 @@ impl Solver {
             }
         }
         Ok(self)
+    }
+
+    /// Arms the flight recorder on this solver's device executor — the
+    /// facade over [`gko::Executor::enable_flight_recorder`].
+    ///
+    /// Every subsequent solve on the device is summarized into a bounded
+    /// ring of structured [`FlightReport`]s (residual trajectory, per-kernel
+    /// latency quantiles, per-lane pool utilization) and screened by the
+    /// stagnation/divergence, lane-imbalance, and latency-drift detectors.
+    /// Reports are annotated with this solver's system matrix shape and
+    /// format. Read the newest report back with [`Solver::flight_report`],
+    /// or serve them live via [`gko::Executor::serve_telemetry`].
+    pub fn with_flight_recorder(mut self) -> Self {
+        let recorder = self.device.executor().enable_flight_recorder();
+        if let Some((rows, cols, nnz, format)) = self.system {
+            recorder.annotate(rows, cols, nnz, format);
+        }
+        self.attached.flight = Some(recorder);
+        self
+    }
+
+    /// The most recent flight-recorder report, or `None` when the recorder
+    /// was never armed or no solve has completed yet.
+    pub fn flight_report(&self) -> Option<FlightReport> {
+        self.attached.flight.as_ref().and_then(|r| r.latest())
     }
 
     /// Counters from the device executor's chunk-overlap detector: how many
@@ -374,6 +404,7 @@ fn make_krylov(
             MatrixImpl::CooDoubleI32(m) => arm!({ m.clone() as Arc<dyn LinOp<f64>> }, Double),
             MatrixImpl::CooDoubleI64(m) => arm!({ m.clone() as Arc<dyn LinOp<f64>> }, Double),
         };
+        let (rows, cols) = matrix.shape();
         Ok(Solver {
             inner,
             logger,
@@ -381,6 +412,7 @@ fn make_krylov(
             device: device.clone(),
             attached: AttachedLoggers::default(),
             sanitize_values: false,
+            system: Some((rows, cols, matrix.nnz(), matrix.format().name())),
         })
     })
 }
@@ -494,6 +526,7 @@ where
             csr = matrix.convert("Csr")?;
             &csr
         };
+        let (rows, cols) = matrix.shape();
         Ok(Solver {
             inner: build(&source.inner)?,
             logger: ConvergenceLogger::new(),
@@ -501,6 +534,7 @@ where
             device: device.clone(),
             attached: AttachedLoggers::default(),
             sanitize_values: false,
+            system: Some((rows, cols, matrix.nnz(), matrix.format().name())),
         })
     })
 }

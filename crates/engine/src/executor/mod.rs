@@ -16,13 +16,15 @@
 
 pub mod pool;
 
+use crate::base::error::Result;
 use crate::log::{Event, Logger, LoggerRegistry};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::sanitize::{Sanitizer, SanitizerReport};
-use pool::{PoolStats, WorkerPool};
+use crate::telemetry::{DetectorConfig, FlightRecorder, TelemetryServer};
+use pool::{LaneStats, PoolStats, WorkerPool};
 use pygko_sim::{ChunkWork, DeviceKind, DeviceSpec, Timeline};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, Weak};
 
 /// Upper bound on OS threads an executor will drive, regardless of how many
 /// workers the device model has. GPU specs model hundreds of schedulable
@@ -73,9 +75,24 @@ struct Inner {
     /// any. Kept here (in addition to its logger attachment) so snapshots
     /// can be read back without holding onto the `Arc` at the call site.
     metrics: Mutex<Option<Arc<MetricsRegistry>>>,
+    /// The flight recorder enabled via [`Executor::enable_flight_recorder`],
+    /// if any (kept here, like `metrics`, so reports can be read back).
+    flight: Mutex<Option<Arc<FlightRecorder>>>,
     /// Runtime sanitizer switch + counters, embedded (not boxed) so the
     /// disabled check in `parallel_chunks` is a single relaxed load.
     sanitizer: Sanitizer,
+}
+
+/// Non-owning executor handle held by the flight recorder, so the
+/// `executor -> recorder -> executor` reference pair cannot leak.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct WeakExecutor(Weak<Inner>);
+
+impl WeakExecutor {
+    /// The executor, if any strong handle to it still exists.
+    pub(crate) fn upgrade(&self) -> Option<Executor> {
+        self.0.upgrade().map(Executor)
+    }
 }
 
 /// A cheaply-cloneable handle to an execution resource.
@@ -99,8 +116,14 @@ impl Executor {
             pool: OnceLock::new(),
             loggers: LoggerRegistry::new(),
             metrics: Mutex::new(None),
+            flight: Mutex::new(None),
             sanitizer: Sanitizer::new(),
         }))
+    }
+
+    /// Non-owning handle to this executor (see [`WeakExecutor`]).
+    pub(crate) fn downgrade(&self) -> WeakExecutor {
+        WeakExecutor(Arc::downgrade(&self.0))
     }
 
     /// Sequential host executor (the correctness reference).
@@ -228,6 +251,17 @@ impl Executor {
             .unwrap_or_default()
     }
 
+    /// Per-lane activity counters of the worker pool, indexed by lane id
+    /// (empty when the executor has no pool or never dispatched).
+    pub fn pool_lane_stats(&self) -> Vec<LaneStats> {
+        self.0
+            .pool
+            .get()
+            .and_then(|p| p.as_ref())
+            .map(|p| p.lane_stats())
+            .unwrap_or_default()
+    }
+
     /// Charges one kernel launch that performed the given chunks of work.
     pub fn launch(&self, chunks: &[ChunkWork]) {
         let t = self.0.spec.kernel_time_ns(chunks);
@@ -270,12 +304,18 @@ impl Executor {
     }
 
     /// Detaches every logger from this executor (including a metrics
-    /// registry enabled via [`Executor::enable_metrics`]).
+    /// registry enabled via [`Executor::enable_metrics`] and a flight
+    /// recorder enabled via [`Executor::enable_flight_recorder`]).
     pub fn clear_loggers(&self) {
         self.0.loggers.clear();
         *self
             .0
             .metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = None;
+        *self
+            .0
+            .flight
             .lock()
             .unwrap_or_else(PoisonError::into_inner) = None;
     }
@@ -328,6 +368,66 @@ impl Executor {
     /// [`Executor::enable_metrics`] is called).
     pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
         self.metrics().map(|m| m.snapshot())
+    }
+
+    /// Enables the flight recorder on this executor with default detector
+    /// thresholds: attaches a [`FlightRecorder`] to the logger registry so
+    /// every subsequent solve is summarized into a bounded ring of
+    /// structured reports and screened by the anomaly detectors. Idempotent
+    /// — repeated calls return the already-enabled recorder. The inert path
+    /// (no recorder, no other logger) stays one relaxed atomic load.
+    pub fn enable_flight_recorder(&self) -> Arc<FlightRecorder> {
+        self.enable_flight_recorder_with(DetectorConfig::default())
+    }
+
+    /// Like [`Executor::enable_flight_recorder`] with explicit detector
+    /// thresholds (ignored if a recorder is already enabled).
+    pub fn enable_flight_recorder_with(&self, config: DetectorConfig) -> Arc<FlightRecorder> {
+        let mut slot = self
+            .0
+            .flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(existing) = slot.as_ref() {
+            return existing.clone();
+        }
+        let recorder = Arc::new(FlightRecorder::new(self.downgrade(), config));
+        self.0.loggers.add(recorder.clone());
+        *slot = Some(recorder.clone());
+        recorder
+    }
+
+    /// Detaches and drops the flight recorder, if one was enabled.
+    pub fn disable_flight_recorder(&self) {
+        let mut slot = self
+            .0
+            .flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(recorder) = slot.take() {
+            let as_logger: Arc<dyn Logger> = recorder;
+            self.0.loggers.remove(&as_logger);
+        }
+    }
+
+    /// The flight recorder enabled on this executor, if any.
+    pub fn flight_recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.0
+            .flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Starts the telemetry HTTP exporter for this executor on `addr`
+    /// (e.g. `"127.0.0.1:9185"`, or port `0` to let the OS pick), enabling
+    /// the metrics registry and flight recorder first so `/metrics` and
+    /// `/runs` have content. Returns the server handle; dropping it (or
+    /// calling [`TelemetryServer::shutdown`]) stops the exporter.
+    pub fn serve_telemetry(&self, addr: &str) -> Result<TelemetryServer> {
+        self.enable_metrics();
+        self.enable_flight_recorder();
+        TelemetryServer::bind(self.clone(), addr)
     }
 
     /// Enables the runtime sanitizer on this executor (shared by all handle

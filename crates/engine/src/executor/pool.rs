@@ -51,7 +51,11 @@ pub struct PoolStats {
 }
 
 impl PoolStats {
-    /// Counter-wise difference `self - earlier` (saturating).
+    /// Counter-wise difference `self - earlier`.
+    ///
+    /// Saturating on every field: a snapshot taken before the pool was torn
+    /// down and re-armed (or two snapshots passed in the wrong order) yields
+    /// zeros instead of an underflow panic.
     pub fn since(&self, earlier: &PoolStats) -> PoolStats {
         PoolStats {
             dispatches: self.dispatches.saturating_sub(earlier.dispatches),
@@ -62,6 +66,52 @@ impl PoolStats {
             dispatch_ns: self.dispatch_ns.saturating_sub(earlier.dispatch_ns),
         }
     }
+}
+
+/// Activity counters for one pool lane (execution slot). Lane `threads - 1`
+/// is drained by the submitting thread; every other lane is a parked OS
+/// worker.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Chunk closures this lane executed.
+    pub chunks: u64,
+    /// Of those, chunks taken from another lane's queue.
+    pub steals: u64,
+    /// Wall-clock nanoseconds this lane spent draining chunks.
+    pub busy_ns: u64,
+}
+
+impl LaneStats {
+    /// Counter-wise difference `self - earlier` (saturating, like
+    /// [`PoolStats::since`]).
+    pub fn since(&self, earlier: &LaneStats) -> LaneStats {
+        LaneStats {
+            chunks: self.chunks.saturating_sub(earlier.chunks),
+            steals: self.steals.saturating_sub(earlier.steals),
+            busy_ns: self.busy_ns.saturating_sub(earlier.busy_ns),
+        }
+    }
+}
+
+/// Lane-wise saturating difference of two per-lane snapshots.
+///
+/// Tolerates length mismatches (a pool re-armed with a different lane count
+/// between the two snapshots): missing earlier lanes diff against zero, and
+/// lanes absent from `now` are dropped.
+pub fn lane_stats_since(now: &[LaneStats], earlier: &[LaneStats]) -> Vec<LaneStats> {
+    now.iter()
+        .enumerate()
+        .map(|(i, lane)| lane.since(earlier.get(i).unwrap_or(&LaneStats::default())))
+        .collect()
+}
+
+/// Per-lane counters, padded to a cache line so lanes never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct LaneCounters {
+    chunks: AtomicU64,
+    steals: AtomicU64,
+    busy_ns: AtomicU64,
 }
 
 /// Lifetime-erased pointer to the job closure. Validity is guaranteed by
@@ -103,6 +153,8 @@ struct Shared {
     parks: AtomicU64,
     unparks: AtomicU64,
     dispatch_ns: AtomicU64,
+    /// One padded counter block per lane, indexed by lane id.
+    lanes: Vec<LaneCounters>,
 }
 
 struct Epoch(u64);
@@ -169,6 +221,7 @@ impl WorkerPool {
             parks: AtomicU64::new(0),
             unparks: AtomicU64::new(0),
             dispatch_ns: AtomicU64::new(0),
+            lanes: (0..threads).map(|_| LaneCounters::default()).collect(),
         });
         let handles = (0..threads - 1)
             .map(|id| {
@@ -207,6 +260,22 @@ impl WorkerPool {
             unparks: s.unparks.load(Ordering::Relaxed),
             dispatch_ns: s.dispatch_ns.load(Ordering::Relaxed),
         }
+    }
+
+    /// Snapshot of the per-lane activity counters, indexed by lane id.
+    ///
+    /// The vector always has [`WorkerPool::threads`] entries; a lane that
+    /// never executed a chunk reports zeros.
+    pub fn lane_stats(&self) -> Vec<LaneStats> {
+        self.shared
+            .lanes
+            .iter()
+            .map(|l| LaneStats {
+                chunks: l.chunks.load(Ordering::Relaxed),
+                steals: l.steals.load(Ordering::Relaxed),
+                busy_ns: l.busy_ns.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Executes `task(i)` for every `i in 0..n_chunks`, distributing indices
@@ -324,6 +393,10 @@ fn drain(shared: &Shared, job: &Job, me: usize) {
     let lanes = job.queues.len();
     let mut ran = 0u64;
     let mut stolen = 0u64;
+    // lint: allow(forbidden-api): real busy time per lane feeds the
+    // utilization-skew telemetry only; it never enters the virtual timeline
+    // or any kernel result.
+    let start = Instant::now();
     for offset in 0..lanes {
         let victim = (me + offset) % lanes;
         let queue = &job.queues[victim];
@@ -342,6 +415,12 @@ fn drain(shared: &Shared, job: &Job, me: usize) {
     }
     shared.chunks.fetch_add(ran, Ordering::Relaxed);
     shared.steals.fetch_add(stolen, Ordering::Relaxed);
+    if let Some(lane) = shared.lanes.get(me) {
+        lane.chunks.fetch_add(ran, Ordering::Relaxed);
+        lane.steals.fetch_add(stolen, Ordering::Relaxed);
+        lane.busy_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
 }
 
 /// Body of one parked OS worker.
@@ -682,6 +761,43 @@ mod tests {
         assert_eq!(d.chunks, 64);
         assert_eq!(d.dispatches, 1);
         assert!(d.steals <= 64);
+    }
+
+    #[test]
+    fn lane_stats_account_for_every_chunk() {
+        let pool = WorkerPool::new(4);
+        pool.run(64, &|_| {});
+        let lanes = pool.lane_stats();
+        assert_eq!(lanes.len(), 4, "one entry per lane");
+        let total: u64 = lanes.iter().map(|l| l.chunks).sum();
+        assert_eq!(total, 64, "per-lane chunks sum to the pool total");
+        let steals: u64 = lanes.iter().map(|l| l.steals).sum();
+        assert_eq!(steals, pool.stats().steals, "per-lane steals sum too");
+        // The submitting thread (last lane) always participates.
+        assert!(lanes[3].chunks > 0);
+    }
+
+    #[test]
+    fn stats_since_never_underflows_across_rearm() {
+        // Snapshots taken across a pool teardown + re-arm (or simply passed
+        // in the wrong order) must yield zeros, never panic.
+        let old_pool = WorkerPool::new(2);
+        old_pool.run(32, &|_| {});
+        let before = old_pool.stats();
+        let before_lanes = old_pool.lane_stats();
+        drop(old_pool);
+        let fresh = WorkerPool::new(3);
+        fresh.run(2, &|_| {});
+        let d = fresh.stats().since(&before);
+        assert!(d.chunks <= 2, "saturated, not wrapped: {d:?}");
+        // Inverted order outright: every field saturates to zero.
+        let inverted = PoolStats::default().since(&before);
+        assert_eq!(inverted, PoolStats::default());
+        // Per-lane diffs tolerate both inversion and lane-count mismatch.
+        let lane_d = lane_stats_since(&fresh.lane_stats(), &before_lanes);
+        assert_eq!(lane_d.len(), 3, "diff follows the newer snapshot");
+        let zero = lane_stats_since(&[LaneStats::default()], &before_lanes);
+        assert_eq!(zero, vec![LaneStats::default()]);
     }
 
     #[test]

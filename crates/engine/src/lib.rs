@@ -22,6 +22,9 @@
 //! * **Stopping criteria** ([`stop`]), **loggers** ([`log`]), and the
 //!   always-on **metrics registry** ([`metrics`]: latency histograms,
 //!   Prometheus/Chrome-trace exporters).
+//! * **The live telemetry plane** ([`telemetry`]): a std-only HTTP scrape
+//!   endpoint (`/metrics`, `/healthz`, `/runs`), per-lane pool utilization
+//!   series, and an anomaly-detecting flight recorder.
 //! * **The runtime sanitizer** ([`sanitize`]): chunk-overlap detection for
 //!   the worker pool, structural `validate()` for every matrix format, and
 //!   a seeded schedule-perturbation stress harness.
@@ -43,13 +46,17 @@ pub mod preconditioner;
 pub mod sanitize;
 pub mod solver;
 pub mod stop;
+pub mod telemetry;
 
 pub use base::array::Array;
 pub use base::dim::Dim2;
 pub use base::error::{GkoError, Result};
 pub use base::types::{Index, Value};
-pub use executor::pool::PoolStats;
+pub use executor::pool::{LaneStats, PoolStats};
 pub use executor::Executor;
 pub use linop::LinOp;
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use sanitize::{ClaimLog, ClaimViolation, Sanitizer, SanitizerReport};
+pub use telemetry::{
+    Anomaly, DetectorConfig, FlightRecorder, FlightReport, TelemetryServer,
+};

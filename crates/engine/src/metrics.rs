@@ -421,6 +421,9 @@ pub struct MetricsRegistry {
     solves: ShardedCounter,
     criterion_checks: ShardedCounter,
     events: ShardedCounter,
+    /// Anomalies reported by the flight recorder (or any other detector),
+    /// keyed by anomaly kind.
+    anomalies: RwLock<BTreeMap<&'static str, Arc<ShardedCounter>>>,
     trace: Option<Trace>,
 }
 
@@ -467,6 +470,7 @@ impl MetricsRegistry {
             solves: ShardedCounter::new(),
             criterion_checks: ShardedCounter::new(),
             events: ShardedCounter::new(),
+            anomalies: RwLock::new(BTreeMap::new()),
             trace: None,
         }
     }
@@ -510,6 +514,27 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// Increments the counter for one detected anomaly of the given kind
+    /// (`"stagnation"`, `"lane_imbalance"`, ...). Exported as the labelled
+    /// `gko_anomalies_total` Prometheus series.
+    pub fn record_anomaly(&self, kind: &'static str) {
+        if let Some(c) = self
+            .anomalies
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(kind)
+        {
+            c.incr();
+            return;
+        }
+        self.anomalies
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(kind)
+            .or_default()
+            .incr();
+    }
+
     /// Materializes everything recorded so far into an immutable snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let kernels = self
@@ -534,6 +559,13 @@ impl MetricsRegistry {
             .iter()
             .map(|(s, c)| (s.to_string(), c.get()))
             .collect();
+        let anomalies = self
+            .anomalies
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, c)| (k.to_string(), c.get()))
+            .collect();
         let (spans, lanes, trace_dropped) = match &self.trace {
             None => (Vec::new(), Vec::new(), 0),
             Some(trace) => {
@@ -552,6 +584,7 @@ impl MetricsRegistry {
             solves: self.solves.get(),
             criterion_checks: self.criterion_checks.get(),
             events: self.events.get(),
+            anomalies,
             spans,
             lanes,
             trace_dropped,
@@ -634,6 +667,8 @@ pub struct MetricsSnapshot {
     pub criterion_checks: u64,
     /// Total events observed.
     pub events: u64,
+    /// Detected anomalies per kind, sorted by kind.
+    pub anomalies: Vec<(String, u64)>,
     /// Completed trace spans (empty when tracing is disabled).
     pub spans: Vec<TraceSpan>,
     /// Lane id / thread name pairs for the span lanes.
@@ -642,8 +677,22 @@ pub struct MetricsSnapshot {
     pub trace_dropped: u64,
 }
 
+/// Escapes a label *value* per the Prometheus text-format spec: backslash,
+/// double quote, and line feed.
 fn prom_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Escapes `# HELP` text per the spec: backslash and line feed (quotes are
+/// legal in help text).
+fn prom_help_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Emits the `# HELP` / `# TYPE` header pair for one metric family.
+fn prom_header(out: &mut String, metric: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {metric} {}", prom_help_escape(help));
+    let _ = writeln!(out, "# TYPE {metric} {kind}");
 }
 
 fn prom_histogram(out: &mut String, metric: &str, labels: &str, h: &HistogramSnapshot) {
@@ -694,17 +743,33 @@ impl MetricsSnapshot {
         self.kernels.iter().find(|k| k.op == op)
     }
 
-    /// Renders the snapshot in the Prometheus text exposition format
-    /// (counters and cumulative-`le` histograms, labeled by kernel/solver).
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// `# HELP`/`# TYPE` headers for every family, escaped label values, and
+    /// cumulative-`le` histograms, labeled by kernel/solver.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
-        out.push_str("# TYPE gko_events_total counter\n");
+        prom_header(
+            &mut out,
+            "gko_events_total",
+            "Events observed by the metrics registry.",
+            "counter",
+        );
         let _ = writeln!(out, "gko_events_total {}", self.events);
-        out.push_str("# TYPE gko_solves_total counter\n");
+        prom_header(&mut out, "gko_solves_total", "Completed solves.", "counter");
         let _ = writeln!(out, "gko_solves_total {}", self.solves);
-        out.push_str("# TYPE gko_criterion_checks_total counter\n");
+        prom_header(
+            &mut out,
+            "gko_criterion_checks_total",
+            "Stopping-criterion evaluations.",
+            "counter",
+        );
         let _ = writeln!(out, "gko_criterion_checks_total {}", self.criterion_checks);
-        out.push_str("# TYPE gko_solver_iterations_total counter\n");
+        prom_header(
+            &mut out,
+            "gko_solver_iterations_total",
+            "Completed iterations per solver.",
+            "counter",
+        );
         for (solver, n) in &self.solver_iterations {
             let _ = writeln!(
                 out,
@@ -712,7 +777,25 @@ impl MetricsSnapshot {
                 prom_escape(solver)
             );
         }
-        out.push_str("# TYPE gko_kernel_calls_total counter\n");
+        prom_header(
+            &mut out,
+            "gko_anomalies_total",
+            "Anomalies flagged by the flight-recorder detectors, per kind.",
+            "counter",
+        );
+        for (kind, n) in &self.anomalies {
+            let _ = writeln!(
+                out,
+                "gko_anomalies_total{{kind=\"{}\"}} {n}",
+                prom_escape(kind)
+            );
+        }
+        prom_header(
+            &mut out,
+            "gko_kernel_calls_total",
+            "Completed kernel invocations per operator.",
+            "counter",
+        );
         for k in &self.kernels {
             let _ = writeln!(
                 out,
@@ -721,19 +804,39 @@ impl MetricsSnapshot {
                 k.calls
             );
         }
-        out.push_str("# TYPE gko_kernel_wall_ns histogram\n");
+        prom_header(
+            &mut out,
+            "gko_kernel_wall_ns",
+            "Wall-clock kernel latency in nanoseconds.",
+            "histogram",
+        );
         for k in &self.kernels {
             let labels = format!("op=\"{}\"", prom_escape(&k.op));
             prom_histogram(&mut out, "gko_kernel_wall_ns", &labels, &k.wall_ns);
         }
-        out.push_str("# TYPE gko_kernel_virtual_ns histogram\n");
+        prom_header(
+            &mut out,
+            "gko_kernel_virtual_ns",
+            "Virtual (cost-model) kernel latency in nanoseconds.",
+            "histogram",
+        );
         for k in &self.kernels {
             let labels = format!("op=\"{}\"", prom_escape(&k.op));
             prom_histogram(&mut out, "gko_kernel_virtual_ns", &labels, &k.virtual_ns);
         }
-        out.push_str("# TYPE gko_pool_dispatch_ns histogram\n");
+        prom_header(
+            &mut out,
+            "gko_pool_dispatch_ns",
+            "Worker-pool dispatch latency in wall nanoseconds.",
+            "histogram",
+        );
         prom_histogram(&mut out, "gko_pool_dispatch_ns", "", &self.pool_dispatch_ns);
-        out.push_str("# TYPE gko_alloc_bytes histogram\n");
+        prom_header(
+            &mut out,
+            "gko_alloc_bytes",
+            "Allocation sizes in bytes.",
+            "histogram",
+        );
         prom_histogram(&mut out, "gko_alloc_bytes", "", &self.alloc_bytes);
         out
     }
@@ -931,6 +1034,54 @@ mod tests {
         assert!(text.contains("le=\"+Inf\"} 1"), "{text}");
         assert!(text.contains("gko_kernel_wall_ns_sum{op=\"csr\"} 100"), "{text}");
         assert!(text.contains("gko_pool_dispatch_ns_bucket{le=\"+Inf\"} 0"), "{text}");
+    }
+
+    #[test]
+    fn exposition_has_help_and_type_for_every_family() {
+        let text = MetricsRegistry::new().snapshot().to_prometheus();
+        for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+            let family = line.split_whitespace().nth(2).unwrap();
+            assert!(
+                text.contains(&format!("# HELP {family} ")),
+                "missing HELP for {family}"
+            );
+        }
+        assert!(text.contains("# TYPE gko_anomalies_total counter"), "{text}");
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_and_newline() {
+        assert_eq!(prom_escape(r"a\b"), r"a\\b");
+        assert_eq!(prom_escape("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(prom_escape("two\nlines"), "two\\nlines");
+        // End to end: a hostile label value never breaks the line framing.
+        let snap = MetricsSnapshot {
+            solver_iterations: vec![("evil\"s\\olver\nname".to_string(), 3)],
+            ..MetricsSnapshot::default()
+        };
+        let text = snap.to_prometheus();
+        assert!(
+            text.contains("gko_solver_iterations_total{solver=\"evil\\\"s\\\\olver\\nname\"} 3"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn anomaly_counters_aggregate_by_kind() {
+        let reg = MetricsRegistry::new();
+        reg.record_anomaly("stagnation");
+        reg.record_anomaly("stagnation");
+        reg.record_anomaly("latency_drift");
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.anomalies,
+            vec![
+                ("latency_drift".to_string(), 1),
+                ("stagnation".to_string(), 2)
+            ]
+        );
+        let text = snap.to_prometheus();
+        assert!(text.contains("gko_anomalies_total{kind=\"stagnation\"} 2"), "{text}");
     }
 
     #[test]

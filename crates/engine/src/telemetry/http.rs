@@ -1,0 +1,201 @@
+//! Std-only HTTP exporter for the telemetry plane.
+//!
+//! A [`TelemetryServer`] owns a `std::net::TcpListener` drained by a
+//! blocking accept loop on a named thread (`gko-telemetry`). Three
+//! endpoints, all `GET`, all `Connection: close`:
+//!
+//! * `/metrics` — Prometheus text exposition (registry snapshot + per-lane
+//!   pool utilization + flight-recorder gauges);
+//! * `/healthz` — executor/pool liveness and sanitizer arm state, as JSON;
+//! * `/runs` — the flight recorder's retained reports, as JSON.
+//!
+//! Requests are served sequentially — every response is a cheap immutable
+//! snapshot, so there is nothing to win by handing connections to a pool —
+//! and the server never touches solver threads: scraping is wait-free for
+//! the engine. Shutdown (explicit or on drop) flips a flag and wakes the
+//! accept loop with a loopback connection, then joins the thread.
+
+use crate::base::error::{GkoError, Result};
+use crate::executor::Executor;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Largest request head (request line + headers) the server reads.
+const MAX_REQUEST_BYTES: usize = 8192;
+
+/// Per-connection socket timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Handle to a running telemetry exporter (see the module docs). Dropping
+/// the handle stops the server.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TelemetryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryServer")
+            .field("addr", &self.addr)
+            .field("running", &self.handle.is_some())
+            .finish()
+    }
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9185"`, port `0` for an OS-assigned
+    /// port) and starts serving `exec`'s telemetry.
+    pub(crate) fn bind(exec: Executor, addr: &str) -> Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| GkoError::BadInput(format!("telemetry: cannot bind {addr}: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| GkoError::BadInput(format!("telemetry: no local addr: {e}")))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let handle = std::thread::Builder::new()
+            .name("gko-telemetry".to_string())
+            .spawn(move || accept_loop(listener, exec, flag))
+            .map_err(|e| {
+                GkoError::BadInput(format!("telemetry: cannot spawn server thread: {e}"))
+            })?;
+        Ok(TelemetryServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.shutdown.store(true, Ordering::Release);
+            // Wake the blocking `accept` so the loop observes the flag.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, exec: Executor, shutdown: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if let Ok(stream) = conn {
+            // A misbehaving client only affects its own connection.
+            let _ = handle_connection(stream, &exec);
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, exec: &Executor) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let head = match read_request_head(&mut stream) {
+        Some(head) => head,
+        None => {
+            return respond(
+                &mut stream,
+                "400 Bad Request",
+                "application/json",
+                "{\"error\": \"malformed request\"}\n",
+            )
+        }
+    };
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    // Ignore any query string: `/metrics?x=y` scrapes `/metrics`.
+    let path = target.split('?').next().unwrap_or(target);
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "application/json",
+            "{\"error\": \"only GET is supported\"}\n",
+        );
+    }
+    match path {
+        "/metrics" => respond(
+            &mut stream,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &super::render_prometheus(exec),
+        ),
+        "/healthz" => respond(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            &super::health_json(exec),
+        ),
+        "/runs" => {
+            let body = exec
+                .flight_recorder()
+                .map(|r| r.runs_json())
+                .unwrap_or_else(|| "{\"reports\": []}\n".to_string());
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "application/json",
+            "{\"error\": \"unknown path; try /metrics, /healthz, /runs\"}\n",
+        ),
+    }
+}
+
+/// Reads until the end of the request head (`\r\n\r\n`) or the size cap and
+/// returns the request line, or `None` when the request is malformed.
+fn read_request_head(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let line = head.lines().next()?.trim().to_string();
+    // A request line has exactly "METHOD TARGET VERSION".
+    (line.split_whitespace().count() == 3).then_some(line)
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

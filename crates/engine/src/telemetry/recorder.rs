@@ -1,0 +1,842 @@
+//! Flight recorder: bounded ring of per-solve reports + anomaly detectors.
+//!
+//! A [`FlightRecorder`] is an ordinary [`Logger`]. While attached (see
+//! [`crate::Executor::enable_flight_recorder`]) it folds the event stream of
+//! each solve into one [`FlightReport`] — matrix context, iteration count,
+//! a residual-trajectory summary, per-kernel latency quantiles, and the
+//! per-lane pool utilization delta — then screens the report with three
+//! detectors before pushing it into a bounded ring:
+//!
+//! * **convergence** — a solve that gave up is flagged [`Anomaly::Divergence`]
+//!   when its final residual grew by `divergence_growth` over the initial
+//!   one, or [`Anomaly::Stagnation`] when the last `stagnation_window`
+//!   iterations made no meaningful progress;
+//! * **lane imbalance** — [`Anomaly::LaneImbalance`] when one pool lane's
+//!   busy time exceeds `imbalance_ratio` times the mean;
+//! * **latency drift** — [`Anomaly::LatencyDrift`] when a kernel's p99 in
+//!   this solve exceeds `drift_ratio` times its rolling (EWMA) baseline
+//!   built from previous solves.
+//!
+//! Each flagged anomaly also increments the executor's
+//! [`crate::metrics::MetricsRegistry`] (`gko_anomalies_total{kind=...}`),
+//! so scrape-based alerting needs no extra wiring.
+
+use crate::config::{json, Config};
+use crate::executor::pool::{lane_stats_since, LaneStats};
+use crate::executor::WeakExecutor;
+use crate::log::{Event, Logger};
+use crate::metrics::{bucket_index, HistogramSnapshot, HISTOGRAM_BUCKETS};
+use crate::stop::StopReason;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Thresholds for the flight recorder's anomaly detectors.
+///
+/// The defaults are deliberately conservative — they are tuned to stay
+/// silent on the healthy reference solves in this repository's test suite
+/// and benchmark harness (see `DESIGN.md` §13 for the rationale behind each
+/// value), so a flagged report means something is genuinely off.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DetectorConfig {
+    /// Iterations the stagnation check looks back over.
+    pub stagnation_window: usize,
+    /// A non-converged solve is stagnating when the newest residual is at
+    /// least `stagnation_ratio` times the residual `stagnation_window`
+    /// iterations ago (1.0 = exactly no progress; 0.99 tolerates 1%).
+    pub stagnation_ratio: f64,
+    /// A non-converged solve is diverging when its final residual is at
+    /// least this factor above the initial one.
+    pub divergence_growth: f64,
+    /// A solve is imbalanced when the busiest lane's busy-ns is at least
+    /// this multiple of the mean over all lanes.
+    pub imbalance_ratio: f64,
+    /// Imbalance is only assessed when the mean per-lane busy time is at
+    /// least this many nanoseconds — tiny jobs always look skewed.
+    pub imbalance_min_busy_ns: u64,
+    /// A kernel drifted when its p99 this solve is at least this multiple
+    /// of its rolling baseline.
+    pub drift_ratio: f64,
+    /// Solves a kernel must appear in before its baseline is trusted.
+    pub drift_min_solves: u64,
+    /// Drift is only assessed when this solve's p99 is at least this many
+    /// nanoseconds — micro-kernel tails are dominated by scheduler noise,
+    /// especially on oversubscribed hosts.
+    pub drift_min_p99_ns: u64,
+    /// Consecutive drifting solves required before [`Anomaly::LatencyDrift`]
+    /// is reported. A single slow solve on a noisy host (CPU steal, cold
+    /// caches) looks exactly like a regression; a real regression persists.
+    pub drift_min_streak: u64,
+    /// Reports retained in the ring (oldest evicted first).
+    pub capacity: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            stagnation_window: 8,
+            stagnation_ratio: 0.99,
+            divergence_growth: 1.0e3,
+            imbalance_ratio: 4.0,
+            imbalance_min_busy_ns: 1_000_000,
+            drift_ratio: 3.0,
+            drift_min_solves: 3,
+            drift_min_p99_ns: 100_000,
+            drift_min_streak: 2,
+            capacity: 64,
+        }
+    }
+}
+
+/// One misbehaviour detected in a solve.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Anomaly {
+    /// The solve stopped without converging and the residual made no
+    /// meaningful progress over the detector window.
+    Stagnation {
+        /// Iterations the check looked back over.
+        window: usize,
+        /// Residual at the start of the window.
+        from: f64,
+        /// Residual at the end of the window.
+        to: f64,
+    },
+    /// The solve stopped without converging and the residual grew far past
+    /// its initial value.
+    Divergence {
+        /// First recorded residual norm.
+        initial: f64,
+        /// Final residual norm.
+        last: f64,
+    },
+    /// One pool lane did a disproportionate share of the work.
+    LaneImbalance {
+        /// The busiest lane's id.
+        lane: usize,
+        /// That lane's busy nanoseconds during the solve.
+        busy_ns: u64,
+        /// Mean busy nanoseconds over all lanes.
+        mean_busy_ns: u64,
+        /// `busy_ns / mean_busy_ns`.
+        ratio: f64,
+    },
+    /// A kernel's tail latency moved away from its rolling baseline.
+    LatencyDrift {
+        /// Kernel / operator name.
+        op: String,
+        /// p99 wall latency in this solve, nanoseconds.
+        p99_ns: u64,
+        /// Rolling baseline p99, nanoseconds.
+        baseline_ns: u64,
+        /// `p99_ns / baseline_ns`.
+        ratio: f64,
+    },
+}
+
+impl Anomaly {
+    /// Stable kind label, used for metric labels and report JSON.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Anomaly::Stagnation { .. } => "stagnation",
+            Anomaly::Divergence { .. } => "divergence",
+            Anomaly::LaneImbalance { .. } => "lane_imbalance",
+            Anomaly::LatencyDrift { .. } => "latency_drift",
+        }
+    }
+
+    fn to_config(&self) -> Config {
+        let base = Config::map().with("kind", self.kind());
+        match self {
+            Anomaly::Stagnation { window, from, to } => base
+                .with("window", *window)
+                .with("from", *from)
+                .with("to", *to),
+            Anomaly::Divergence { initial, last } => {
+                base.with("initial", *initial).with("last", *last)
+            }
+            Anomaly::LaneImbalance {
+                lane,
+                busy_ns,
+                mean_busy_ns,
+                ratio,
+            } => base
+                .with("lane", *lane)
+                .with("busy_ns", *busy_ns as i64)
+                .with("mean_busy_ns", *mean_busy_ns as i64)
+                .with("ratio", *ratio),
+            Anomaly::LatencyDrift {
+                op,
+                p99_ns,
+                baseline_ns,
+                ratio,
+            } => base
+                .with("op", op.as_str())
+                .with("p99_ns", *p99_ns as i64)
+                .with("baseline_ns", *baseline_ns as i64)
+                .with("ratio", *ratio),
+        }
+    }
+}
+
+/// The system matrix a recorded solve ran against (set by the facade via
+/// [`FlightRecorder::annotate`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SystemContext {
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix columns.
+    pub cols: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Storage format name, e.g. `"csr"`.
+    pub format: String,
+}
+
+/// Compressed residual trajectory of one solve.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResidualSummary {
+    /// First recorded residual norm (0.0 when no iteration ran).
+    pub initial: f64,
+    /// Smallest recorded residual norm.
+    pub minimum: f64,
+    /// Last recorded residual norm.
+    pub last: f64,
+    /// Residual norms recorded.
+    pub count: usize,
+}
+
+/// Wall-latency quantiles of one kernel within one solve.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KernelLatency {
+    /// Kernel / operator name.
+    pub op: String,
+    /// Completed invocations during the solve.
+    pub calls: u64,
+    /// Median wall latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile wall latency, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile wall latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Exact maximum wall latency, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Structured record of one completed solve.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FlightReport {
+    /// Monotonic sequence number (1-based, over the recorder's lifetime).
+    pub seq: u64,
+    /// Solver name, e.g. `"solver::Cg"`.
+    pub solver: String,
+    /// The system matrix, when the facade annotated it.
+    pub context: Option<SystemContext>,
+    /// Fully completed iterations.
+    pub iterations: usize,
+    /// Why the solve stopped (`None` only for the `Default` value).
+    pub stop_reason: Option<StopReason>,
+    /// Whether the stop reason indicates convergence.
+    pub converged: bool,
+    /// Residual trajectory summary.
+    pub residuals: ResidualSummary,
+    /// Per-kernel latency quantiles, sorted by kernel name.
+    pub kernels: Vec<KernelLatency>,
+    /// Per-lane pool utilization delta attributed to this solve.
+    pub lanes: Vec<LaneStats>,
+    /// Anomalies the detectors flagged (empty for a healthy solve).
+    pub anomalies: Vec<Anomaly>,
+}
+
+impl FlightReport {
+    /// Renders the report as a [`Config`] tree (for JSON export).
+    pub fn to_config(&self) -> Config {
+        let mut cfg = Config::map()
+            .with("seq", self.seq as i64)
+            .with("solver", self.solver.as_str())
+            .with("iterations", self.iterations)
+            .with(
+                "stop_reason",
+                self.stop_reason.map(reason_name).unwrap_or("unknown"),
+            )
+            .with("converged", self.converged)
+            .with(
+                "residuals",
+                Config::map()
+                    .with("initial", self.residuals.initial)
+                    .with("minimum", self.residuals.minimum)
+                    .with("last", self.residuals.last)
+                    .with("count", self.residuals.count),
+            );
+        if let Some(ctx) = &self.context {
+            cfg = cfg.with(
+                "matrix",
+                Config::map()
+                    .with("rows", ctx.rows)
+                    .with("cols", ctx.cols)
+                    .with("nnz", ctx.nnz)
+                    .with("format", ctx.format.as_str()),
+            );
+        }
+        let kernels: Vec<Config> = self
+            .kernels
+            .iter()
+            .map(|k| {
+                Config::map()
+                    .with("op", k.op.as_str())
+                    .with("calls", k.calls as i64)
+                    .with("p50_ns", k.p50_ns as i64)
+                    .with("p95_ns", k.p95_ns as i64)
+                    .with("p99_ns", k.p99_ns as i64)
+                    .with("max_ns", k.max_ns as i64)
+            })
+            .collect();
+        let lanes: Vec<Config> = self
+            .lanes
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                Config::map()
+                    .with("lane", i)
+                    .with("chunks", l.chunks as i64)
+                    .with("steals", l.steals as i64)
+                    .with("busy_ns", l.busy_ns as i64)
+            })
+            .collect();
+        let anomalies: Vec<Config> = self.anomalies.iter().map(Anomaly::to_config).collect();
+        cfg.with("kernels", kernels)
+            .with("lanes", lanes)
+            .with("anomalies", anomalies)
+    }
+}
+
+fn reason_name(reason: StopReason) -> &'static str {
+    match reason {
+        StopReason::MaxIterations => "max_iterations",
+        StopReason::ResidualReduction => "residual_reduction",
+        StopReason::AbsoluteResidual => "absolute_residual",
+        StopReason::Breakdown => "breakdown",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Detectors (pure functions, unit-testable in isolation)
+// ---------------------------------------------------------------------------
+
+/// Convergence detector: given the first recorded residual, the trailing
+/// residual window (oldest first, at most `stagnation_window + 1` entries),
+/// and whether the solve converged, decides between [`Anomaly::Divergence`],
+/// [`Anomaly::Stagnation`], and a clean bill (`None`). Converged solves are
+/// never flagged.
+pub fn detect_convergence(
+    initial: f64,
+    window: &[f64],
+    converged: bool,
+    cfg: &DetectorConfig,
+) -> Option<Anomaly> {
+    if converged {
+        return None;
+    }
+    let last = *window.last()?;
+    if initial > 0.0 && initial.is_finite() && last >= cfg.divergence_growth * initial {
+        return Some(Anomaly::Divergence { initial, last });
+    }
+    if window.len() > cfg.stagnation_window {
+        let from = window[window.len() - 1 - cfg.stagnation_window];
+        if from > 0.0 && from.is_finite() && last >= cfg.stagnation_ratio * from {
+            return Some(Anomaly::Stagnation {
+                window: cfg.stagnation_window,
+                from,
+                to: last,
+            });
+        }
+    }
+    None
+}
+
+/// Lane-imbalance detector over a per-lane utilization delta: flags when the
+/// busiest lane carried at least `imbalance_ratio` times the mean busy time.
+/// Skips pools with fewer than two lanes and jobs too small to judge
+/// (`imbalance_min_busy_ns`).
+pub fn detect_lane_imbalance(lanes: &[LaneStats], cfg: &DetectorConfig) -> Option<Anomaly> {
+    if lanes.len() < 2 {
+        return None;
+    }
+    let total: u64 = lanes.iter().map(|l| l.busy_ns).sum();
+    let mean = total / lanes.len() as u64;
+    if mean < cfg.imbalance_min_busy_ns.max(1) {
+        return None;
+    }
+    let (lane, busy_ns) = lanes
+        .iter()
+        .map(|l| l.busy_ns)
+        .enumerate()
+        .max_by_key(|&(_, b)| b)?;
+    let ratio = busy_ns as f64 / mean as f64;
+    (ratio >= cfg.imbalance_ratio).then_some(Anomaly::LaneImbalance {
+        lane,
+        busy_ns,
+        mean_busy_ns: mean,
+        ratio,
+    })
+}
+
+/// Latency-drift detector for one kernel: flags when this solve's p99 is at
+/// least `drift_ratio` times the rolling p99 baseline **and** the median
+/// moved with it. A genuine kernel regression shifts the whole latency
+/// distribution; a preempted sample on a busy host inflates only the tail,
+/// so the median corroboration keeps the detector quiet on oversubscribed
+/// machines. Baselines are only trusted after `drift_min_solves` solves
+/// contributed, and tails below `drift_min_p99_ns` are never judged.
+pub fn detect_latency_drift(
+    op: &str,
+    p99_ns: u64,
+    p50_ns: u64,
+    baseline_p99: f64,
+    baseline_p50: f64,
+    baseline_solves: u64,
+    cfg: &DetectorConfig,
+) -> Option<Anomaly> {
+    if baseline_solves < cfg.drift_min_solves
+        || baseline_p99 <= 0.0
+        || p99_ns < cfg.drift_min_p99_ns
+    {
+        return None;
+    }
+    let ratio = p99_ns as f64 / baseline_p99;
+    let median_moved = baseline_p50 <= 0.0 || p50_ns as f64 >= cfg.drift_ratio * baseline_p50;
+    (ratio >= cfg.drift_ratio && median_moved).then_some(Anomaly::LatencyDrift {
+        op: op.to_string(),
+        p99_ns,
+        baseline_ns: baseline_p99 as u64,
+        ratio,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Recorder
+// ---------------------------------------------------------------------------
+
+/// Residuals and kernel latencies accumulated for the solve in flight.
+#[derive(Default)]
+struct CurrentSolve {
+    initial: Option<f64>,
+    minimum: f64,
+    last: f64,
+    count: usize,
+    /// Trailing residuals, oldest first, at most `stagnation_window + 1`.
+    window: VecDeque<f64>,
+    kernels: BTreeMap<&'static str, HistogramSnapshot>,
+}
+
+impl CurrentSolve {
+    fn observe_residual(&mut self, r: f64, window: usize) {
+        if self.initial.is_none() {
+            self.initial = Some(r);
+            self.minimum = r;
+        }
+        self.minimum = self.minimum.min(r);
+        self.last = r;
+        self.count += 1;
+        self.window.push_back(r);
+        while self.window.len() > window + 1 {
+            self.window.pop_front();
+        }
+    }
+
+    fn observe_kernel(&mut self, op: &'static str, wall_ns: u64) {
+        let h = self.kernels.entry(op).or_default();
+        if h.buckets.is_empty() {
+            h.buckets = vec![0; HISTOGRAM_BUCKETS];
+        }
+        if let Some(b) = h.buckets.get_mut(bucket_index(wall_ns)) {
+            *b += 1;
+        }
+        h.count += 1;
+        h.sum = h.sum.saturating_add(wall_ns);
+        h.max = h.max.max(wall_ns);
+    }
+}
+
+/// Rolling per-kernel latency baseline: EWMA p99 and p50, solves folded in,
+/// and the current run of consecutive drifting solves.
+struct Baseline {
+    ewma_p99: f64,
+    ewma_p50: f64,
+    solves: u64,
+    streak: u64,
+}
+
+#[derive(Default)]
+struct RecorderState {
+    current: CurrentSolve,
+    /// Per-lane counters at the end of the previous report, so each report
+    /// carries only its own delta.
+    lane_mark: Vec<LaneStats>,
+    baselines: BTreeMap<String, Baseline>,
+    reports: VecDeque<FlightReport>,
+    seq: u64,
+    context: Option<SystemContext>,
+    anomaly_counts: BTreeMap<&'static str, u64>,
+}
+
+impl Default for Baseline {
+    fn default() -> Self {
+        Baseline {
+            ewma_p99: 0.0,
+            ewma_p50: 0.0,
+            solves: 0,
+            streak: 0,
+        }
+    }
+}
+
+/// The flight recorder (see the module docs).
+///
+/// Create one through [`crate::Executor::enable_flight_recorder`] (which
+/// also attaches it), or [`FlightRecorder::detached`] for feeding events
+/// manually in tests.
+pub struct FlightRecorder {
+    exec: WeakExecutor,
+    config: DetectorConfig,
+    /// Events observed, for inert-path regression tests.
+    events: AtomicU64,
+    state: Mutex<RecorderState>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("events", &self.events_observed())
+            .field("reports", &self.reports_len())
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// Recorder bound to an executor (lane utilization and anomaly counters
+    /// flow into that executor's pool stats / metrics registry).
+    pub(crate) fn new(exec: WeakExecutor, config: DetectorConfig) -> Self {
+        FlightRecorder {
+            exec,
+            config,
+            events: AtomicU64::new(0),
+            state: Mutex::new(RecorderState::default()),
+        }
+    }
+
+    /// Standalone recorder with no executor: lane utilization stays empty
+    /// and anomalies are counted locally only. Intended for detector tests
+    /// that synthesize the event stream.
+    pub fn detached(config: DetectorConfig) -> Self {
+        FlightRecorder::new(WeakExecutor::default(), config)
+    }
+
+    /// The detector thresholds this recorder screens with.
+    pub fn detector_config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Total events this recorder has observed.
+    pub fn events_observed(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+
+    /// Records the system matrix subsequent reports describe (typically
+    /// called by the facade when a solver is built).
+    pub fn annotate(&self, rows: usize, cols: usize, nnz: usize, format: &str) {
+        self.state().context = Some(SystemContext {
+            rows,
+            cols,
+            nnz,
+            format: format.to_string(),
+        });
+    }
+
+    /// Reports retained in the ring, oldest first.
+    pub fn reports(&self) -> Vec<FlightReport> {
+        self.state().reports.iter().cloned().collect()
+    }
+
+    /// The most recent report, if any solve completed.
+    pub fn latest(&self) -> Option<FlightReport> {
+        self.state().reports.back().cloned()
+    }
+
+    /// Number of reports currently retained.
+    pub fn reports_len(&self) -> usize {
+        self.state().reports.len()
+    }
+
+    /// Anomalies flagged so far, per kind (sorted by kind).
+    pub fn anomaly_counts(&self) -> Vec<(String, u64)> {
+        self.state()
+            .anomaly_counts
+            .iter()
+            .map(|(k, n)| (k.to_string(), *n))
+            .collect()
+    }
+
+    /// Total anomalies flagged so far.
+    pub fn anomalies_total(&self) -> u64 {
+        self.state().anomaly_counts.values().sum()
+    }
+
+    /// Renders the retained reports as the `/runs` JSON document.
+    pub fn runs_json(&self) -> String {
+        let reports: Vec<Config> = self
+            .state()
+            .reports
+            .iter()
+            .map(FlightReport::to_config)
+            .collect();
+        json::to_string_pretty(&Config::map().with("reports", reports))
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, RecorderState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn finalize(
+        &self,
+        solver: &'static str,
+        iterations: usize,
+        reason: StopReason,
+    ) {
+        let exec = self.exec.upgrade();
+        let lanes_now = exec
+            .as_ref()
+            .map(|e| e.pool_lane_stats())
+            .unwrap_or_default();
+        let mut state = self.state();
+        let current = std::mem::take(&mut state.current);
+        let lanes = lane_stats_since(&lanes_now, &state.lane_mark);
+        state.lane_mark = lanes_now;
+
+        let converged = reason.is_converged();
+        let mut anomalies = Vec::new();
+        let window: Vec<f64> = current.window.iter().copied().collect();
+        if let Some(a) = detect_convergence(
+            current.initial.unwrap_or(0.0),
+            &window,
+            converged,
+            &self.config,
+        ) {
+            anomalies.push(a);
+        }
+        if let Some(a) = detect_lane_imbalance(&lanes, &self.config) {
+            anomalies.push(a);
+        }
+
+        let mut kernels = Vec::with_capacity(current.kernels.len());
+        for (op, hist) in &current.kernels {
+            let p99 = hist.p99();
+            let p50 = hist.p50();
+            let drifted = {
+                let baseline = state.baselines.entry(op.to_string()).or_default();
+                let raw = detect_latency_drift(
+                    op,
+                    p99,
+                    p50,
+                    baseline.ewma_p99,
+                    baseline.ewma_p50,
+                    baseline.solves,
+                    &self.config,
+                );
+                // A drifting sample is kept out of the baseline so a
+                // persistent regression keeps firing instead of normalizing
+                // itself away — but it is only *reported* once the drift has
+                // held for `drift_min_streak` consecutive solves (one slow
+                // solve on a noisy host is not a regression).
+                if raw.is_none() {
+                    baseline.streak = 0;
+                    if baseline.solves == 0 {
+                        baseline.ewma_p99 = p99 as f64;
+                        baseline.ewma_p50 = p50 as f64;
+                    } else {
+                        baseline.ewma_p99 = 0.7 * baseline.ewma_p99 + 0.3 * p99 as f64;
+                        baseline.ewma_p50 = 0.7 * baseline.ewma_p50 + 0.3 * p50 as f64;
+                    }
+                    baseline.solves += 1;
+                }
+                let streak = if raw.is_some() {
+                    baseline.streak += 1;
+                    baseline.streak
+                } else {
+                    0
+                };
+                raw.filter(|_| streak >= self.config.drift_min_streak.max(1))
+            };
+            if let Some(a) = drifted {
+                anomalies.push(a);
+            }
+            kernels.push(KernelLatency {
+                op: op.to_string(),
+                calls: hist.count,
+                p50_ns: hist.p50(),
+                p95_ns: hist.p95(),
+                p99_ns: p99,
+                max_ns: hist.max,
+            });
+        }
+
+        for a in &anomalies {
+            *state.anomaly_counts.entry(a.kind()).or_insert(0) += 1;
+        }
+        state.seq += 1;
+        let report = FlightReport {
+            seq: state.seq,
+            solver: solver.to_string(),
+            context: state.context.clone(),
+            iterations,
+            stop_reason: Some(reason),
+            converged,
+            residuals: ResidualSummary {
+                initial: current.initial.unwrap_or(0.0),
+                minimum: current.minimum,
+                last: current.last,
+                count: current.count,
+            },
+            kernels,
+            lanes,
+            anomalies,
+        };
+        let capacity = self.config.capacity.max(1);
+        while state.reports.len() >= capacity {
+            state.reports.pop_front();
+        }
+        // Forward anomaly counts into the executor's metrics registry
+        // outside our own lock? The registry's counters are lock-free, so
+        // nesting here is deadlock-safe and keeps the counts atomic with
+        // the report push.
+        if let Some(registry) = exec.as_ref().and_then(|e| e.metrics()) {
+            for a in &report.anomalies {
+                registry.record_anomaly(a.kind());
+            }
+        }
+        state.reports.push_back(report);
+    }
+}
+
+impl Logger for FlightRecorder {
+    fn on_event(&self, event: &Event) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+        match *event {
+            Event::IterationComplete { residual, .. } => {
+                let window = self.config.stagnation_window;
+                self.state().current.observe_residual(residual, window);
+            }
+            Event::LinOpApplyCompleted { op, wall_ns, .. } => {
+                self.state().current.observe_kernel(op, wall_ns);
+            }
+            Event::SolveCompleted {
+                solver,
+                iterations,
+                reason,
+                ..
+            } => self.finalize(solver, iterations, reason),
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "flight"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converged_solves_are_never_flagged() {
+        let cfg = DetectorConfig::default();
+        let window = [1.0, 10.0, 100.0, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9];
+        assert_eq!(detect_convergence(1.0, &window, true, &cfg), None);
+    }
+
+    #[test]
+    fn divergence_beats_stagnation_on_large_growth() {
+        let cfg = DetectorConfig::default();
+        let window: Vec<f64> = (0..=cfg.stagnation_window).map(|i| 2.0f64.powi(i as i32)).collect();
+        // Growth 2^8 = 256x over the window but only vs initial 1e-3 -> 2e5x.
+        let got = detect_convergence(1.0e-3, &window, false, &cfg);
+        assert!(matches!(got, Some(Anomaly::Divergence { .. })), "{got:?}");
+    }
+
+    #[test]
+    fn plateau_without_convergence_is_stagnation() {
+        let cfg = DetectorConfig::default();
+        let window = vec![1.0; cfg.stagnation_window + 1];
+        let got = detect_convergence(1.0, &window, false, &cfg);
+        match got {
+            Some(Anomaly::Stagnation { window: w, from, to }) => {
+                assert_eq!(w, cfg.stagnation_window);
+                assert_eq!(from, 1.0);
+                assert_eq!(to, 1.0);
+            }
+            other => panic!("expected Stagnation, got {other:?}"),
+        }
+        // A steadily improving (if slow) solve is not stagnating.
+        let improving: Vec<f64> = (0..=cfg.stagnation_window)
+            .map(|i| 0.9f64.powi(i as i32))
+            .collect();
+        assert_eq!(detect_convergence(1.0, &improving, false, &cfg), None);
+        // Too few residuals to judge: stay silent.
+        assert_eq!(detect_convergence(1.0, &[1.0, 1.0], false, &cfg), None);
+    }
+
+    #[test]
+    fn lane_imbalance_needs_scale_and_skew() {
+        let cfg = DetectorConfig::default();
+        let lane = |busy_ns| LaneStats {
+            chunks: 1,
+            steals: 0,
+            busy_ns,
+        };
+        // Balanced: silent.
+        assert_eq!(detect_lane_imbalance(&[lane(5_000_000); 4], &cfg), None);
+        // Skewed but tiny (mean below the floor): silent.
+        assert_eq!(
+            detect_lane_imbalance(&[lane(800_000), lane(0), lane(0), lane(0)], &cfg),
+            None
+        );
+        // Skewed at scale: flagged, on the right lane.
+        let got = detect_lane_imbalance(
+            &[lane(0), lane(40_000_000), lane(0), lane(0)],
+            &cfg,
+        );
+        match got {
+            Some(Anomaly::LaneImbalance { lane, ratio, .. }) => {
+                assert_eq!(lane, 1);
+                assert!(ratio >= cfg.imbalance_ratio);
+            }
+            other => panic!("expected LaneImbalance, got {other:?}"),
+        }
+        // A single lane (reference executor) can never be imbalanced.
+        assert_eq!(detect_lane_imbalance(&[lane(1_000_000_000)], &cfg), None);
+    }
+
+    #[test]
+    fn latency_drift_requires_trusted_baseline_and_moved_median() {
+        let cfg = DetectorConfig::default();
+        // Baseline not yet trusted.
+        assert_eq!(
+            detect_latency_drift("csr", 10_000_000, 10_000_000, 1_000.0, 1_000.0, 2, &cfg),
+            None
+        );
+        // Whole distribution moved: flagged.
+        let got =
+            detect_latency_drift("csr", 10_000_000, 10_000_000, 1_000.0, 1_000.0, 3, &cfg);
+        assert!(matches!(got, Some(Anomaly::LatencyDrift { .. })), "{got:?}");
+        // Tail-only spike (median unchanged): scheduler noise, silent.
+        assert_eq!(
+            detect_latency_drift("csr", 10_000_000, 1_000, 1_000.0, 1_000.0, 3, &cfg),
+            None
+        );
+        // Below the absolute p99 floor: silent even at a huge ratio.
+        assert_eq!(
+            detect_latency_drift("csr", 50_000, 50_000, 100.0, 100.0, 3, &cfg),
+            None
+        );
+    }
+}

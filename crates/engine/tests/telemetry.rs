@@ -1,0 +1,386 @@
+//! Acceptance tests for the live telemetry plane: concurrent scrapes under a
+//! running solve, the three anomaly detectors on injected faults, a healthy
+//! reference solve that must stay anomaly-free, and the inert-path
+//! regression (an unattached recorder observes nothing).
+
+use gko::config::Config;
+use gko::linop::LinOp;
+use gko::log::{Event, Logger};
+use gko::matrix::{Csr, Dense};
+use gko::preconditioner::Jacobi;
+use gko::solver::{Cg, Ir};
+use gko::stop::{Criteria, StopReason};
+use gko::telemetry::prom;
+use gko::{Anomaly, DetectorConfig, Dim2, Executor, FlightRecorder};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn poisson_csr(exec: &Executor, n: usize) -> Csr<f64, i32> {
+    let mut t = Vec::new();
+    for i in 0..n {
+        t.push((i, i, 4.0));
+        if i > 0 {
+            t.push((i, i - 1, -1.0));
+            t.push((i - 1, i, -1.0));
+        }
+    }
+    Csr::from_triplets(exec, Dim2::square(n), &t).unwrap()
+}
+
+fn solve_cg(exec: &Executor, a: &Arc<Csr<f64, i32>>) -> StopReason {
+    let n = a.size().rows;
+    let solver = Cg::new(a.clone())
+        .unwrap()
+        .with_criteria(Criteria::iterations_and_reduction(2 * n, 1e-10));
+    let b = Dense::<f64>::filled(exec, Dim2::new(n, 1), 1.0);
+    let mut x = Dense::<f64>::zeros(exec, Dim2::new(n, 1));
+    solver.apply(&b, &mut x).unwrap();
+    solver.logger().snapshot().stop_reason.unwrap()
+}
+
+/// Minimal HTTP/1.1 GET over a raw `TcpStream`; returns (status line, body).
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to telemetry server");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: telemetry\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8(raw).expect("response is UTF-8");
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, body.to_string())
+}
+
+/// Satellite 3: four scraper threads hammer `/metrics` and `/healthz` while
+/// CG solves run on an omp-16 executor. Every scrape must be a complete,
+/// well-formed document (the strict in-tree parser accepts it), and the
+/// server must shut down cleanly afterwards.
+#[test]
+fn concurrent_scrapes_during_solve_are_never_torn() {
+    let exec = Executor::omp(16);
+    // This test is about scrape integrity, not detectors: on an
+    // oversubscribed CI host (possibly a single core), wall latencies under
+    // 4 scraper threads are arbitrarily noisy and a 16-lane pool is
+    // genuinely skewed towards the submitting lane, so the two
+    // timing-based detectors are switched off here — each has its own
+    // deterministic test below.
+    exec.enable_flight_recorder_with(DetectorConfig {
+        drift_min_solves: u64::MAX,
+        imbalance_ratio: f64::INFINITY,
+        ..DetectorConfig::default()
+    });
+    let server = exec.serve_telemetry("127.0.0.1:0").unwrap();
+    let addr = server.addr();
+    let a = Arc::new(poisson_csr(&exec, 2048));
+
+    let done = Arc::new(AtomicBool::new(false));
+    let scrapers: Vec<_> = (0..4)
+        .map(|id| {
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut scrapes = 0u32;
+                while scrapes < 20 || !done.load(Ordering::Acquire) {
+                    let (status, body) = http_get(addr, "/metrics");
+                    assert_eq!(status, "HTTP/1.1 200 OK", "scraper {id}");
+                    prom::validate(&body)
+                        .unwrap_or_else(|e| panic!("scraper {id}: invalid exposition: {e}"));
+                    let (status, body) = http_get(addr, "/healthz");
+                    assert_eq!(status, "HTTP/1.1 200 OK", "scraper {id}");
+                    let health = Config::from_json(&body)
+                        .unwrap_or_else(|e| panic!("scraper {id}: bad health JSON: {e:?}"));
+                    assert_eq!(health.get("status").and_then(|s| s.as_str()), Some("ok"));
+                    scrapes += 1;
+                }
+                scrapes
+            })
+        })
+        .collect();
+
+    for _ in 0..12 {
+        let reason = solve_cg(&exec, &a);
+        assert!(reason.is_converged(), "reference solve converged: {reason:?}");
+    }
+    done.store(true, Ordering::Release);
+    for handle in scrapers {
+        assert!(handle.join().unwrap() >= 20);
+    }
+
+    // After the solves: lane series are present and the recorder holds
+    // anomaly-free reports for every completed solve.
+    let (_, metrics) = http_get(addr, "/metrics");
+    for needle in [
+        "gko_pool_lane_chunks_total{lane=\"0\"}",
+        "gko_pool_lane_busy_ns_total{lane=\"15\"}",
+        "# TYPE gko_anomalies_total counter",
+        "gko_flight_reports 12",
+    ] {
+        assert!(metrics.contains(needle), "missing {needle:?} in:\n{metrics}");
+    }
+    // Healthy solves: the anomaly family stays empty (declared, no samples).
+    assert!(
+        !metrics.contains("gko_anomalies_total{"),
+        "unexpected anomaly samples:\n{metrics}"
+    );
+    let (_, runs) = http_get(addr, "/runs");
+    let doc = Config::from_json(&runs).expect("/runs is valid JSON");
+    let reports = doc.get("reports").and_then(|r| r.as_array()).unwrap();
+    assert_eq!(reports.len(), 12);
+    for report in reports {
+        assert!(matches!(report.get("converged"), Some(Config::Bool(true))));
+        let anomalies = report.get("anomalies").and_then(|a| a.as_array()).unwrap();
+        assert!(anomalies.is_empty(), "healthy solve flagged: {runs}");
+    }
+
+    let (status, _) = http_get(addr, "/nope");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+    server.shutdown();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "listener closed after shutdown"
+    );
+}
+
+/// Satellite 4a: Richardson + Jacobi on an indefinite matrix makes no
+/// progress (the iteration slowly diverges but stays far below the
+/// divergence threshold) — the convergence detector must flag `Stagnation`,
+/// and exactly that.
+#[test]
+fn stagnating_richardson_on_indefinite_matrix_is_flagged() {
+    let exec = Executor::reference();
+    let recorder = exec.enable_flight_recorder();
+    let a = Csr::<f64, i32>::from_triplets(
+        &exec,
+        Dim2::square(2),
+        &[(0, 0, 2.0), (0, 1, 3.0), (1, 0, 3.0), (1, 1, 2.0)],
+    )
+    .unwrap();
+    let jacobi = Arc::new(Jacobi::new(&a).unwrap());
+    let solver = Ir::new(Arc::new(a))
+        .unwrap()
+        .with_solver(jacobi)
+        .unwrap()
+        .with_criteria(Criteria::iterations(12));
+    let b = Dense::<f64>::filled(&exec, Dim2::new(2, 1), 1.0);
+    let mut x = Dense::<f64>::zeros(&exec, Dim2::new(2, 1));
+    solver.apply(&b, &mut x).unwrap();
+
+    let report = recorder.latest().expect("solve recorded");
+    assert_eq!(report.solver, "solver::Ir");
+    assert_eq!(report.stop_reason, Some(StopReason::MaxIterations));
+    assert!(!report.converged);
+    assert_eq!(report.anomalies.len(), 1, "exactly one anomaly: {report:?}");
+    match &report.anomalies[0] {
+        Anomaly::Stagnation { window, from, to } => {
+            assert_eq!(*window, recorder.detector_config().stagnation_window);
+            assert!(
+                to >= from,
+                "residual plateaued or grew over the window: {from} -> {to}"
+            );
+        }
+        other => panic!("expected Stagnation, got {other:?}"),
+    }
+    assert_eq!(
+        recorder.anomaly_counts(),
+        vec![("stagnation".to_string(), 1)]
+    );
+    exec.disable_flight_recorder();
+}
+
+/// A fixed amount of CPU busy-work; opaque to the optimizer.
+fn spin(iters: u64) -> f64 {
+    let mut acc = 0.0f64;
+    for i in 0..iters {
+        acc += std::hint::black_box((i as f64).sqrt());
+    }
+    acc
+}
+
+/// Satellite 4b: a dispatch where one chunk carries almost all the work
+/// skews one lane's busy time far above the mean — the next report must
+/// flag `LaneImbalance` on that lane.
+#[test]
+fn skewed_chunks_trigger_lane_imbalance() {
+    let exec = Executor::omp(8);
+    // Lower the busy-time floor so the test stays fast on any machine; the
+    // ratio threshold (the part under test) keeps its default.
+    let recorder = exec.enable_flight_recorder_with(DetectorConfig {
+        imbalance_min_busy_ns: 10_000,
+        ..DetectorConfig::default()
+    });
+
+    // 8 chunks, one lane apiece: chunk 0 does ~20M flops, the rest ~1k.
+    let mut out = vec![0.0f64; 8];
+    let bounds: Vec<usize> = (0..=8).collect();
+    gko::executor::pool::parallel_chunks(&exec, &mut out, &bounds, |i, slot| {
+        slot[0] = spin(if i == 0 { 20_000_000 } else { 1_000 });
+    });
+
+    // A tiny healthy solve closes out the report carrying the skewed delta.
+    let a = Arc::new(poisson_csr(&exec, 64));
+    assert!(solve_cg(&exec, &a).is_converged());
+
+    let report = recorder.latest().expect("solve recorded");
+    let flagged: Vec<_> = report
+        .anomalies
+        .iter()
+        .filter(|a| a.kind() == "lane_imbalance")
+        .collect();
+    assert_eq!(flagged.len(), 1, "anomalies: {:?}", report.anomalies);
+    match flagged[0] {
+        Anomaly::LaneImbalance {
+            busy_ns,
+            mean_busy_ns,
+            ratio,
+            ..
+        } => {
+            assert!(busy_ns > mean_busy_ns);
+            assert!(
+                *ratio >= recorder.detector_config().imbalance_ratio,
+                "ratio {ratio}"
+            );
+        }
+        other => panic!("expected LaneImbalance, got {other:?}"),
+    }
+    exec.disable_flight_recorder();
+}
+
+/// Satellite 4c: a kernel whose p99 jumps three orders of magnitude above
+/// its rolling baseline must be flagged `LatencyDrift` — and the healthy
+/// solves that built the baseline must not be.
+#[test]
+fn injected_slow_kernel_triggers_latency_drift() {
+    let recorder = FlightRecorder::detached(DetectorConfig::default());
+    let healthy_solve = |wall_ns: u64| {
+        for _ in 0..8 {
+            recorder.on_event(&Event::LinOpApplyCompleted {
+                op: "csr",
+                wall_ns,
+                virtual_ns: 0,
+            });
+        }
+        recorder.on_event(&Event::SolveCompleted {
+            solver: "solver::Cg",
+            iterations: 8,
+            residual: 1e-12,
+            reason: StopReason::ResidualReduction,
+        });
+    };
+    // Three healthy solves establish the ~1µs baseline (drift_min_solves).
+    for _ in 0..3 {
+        healthy_solve(1_000);
+    }
+    for report in recorder.reports() {
+        assert!(report.anomalies.is_empty(), "baseline solve flagged");
+    }
+    // The injected fault: the same kernel now takes ~1ms. The first slow
+    // solve is withheld (a lone slow solve on a noisy host is not a
+    // regression); the drift is reported once it persists.
+    healthy_solve(1_000_000);
+    assert!(
+        recorder.latest().unwrap().anomalies.is_empty(),
+        "a single slow solve must not be flagged yet"
+    );
+    healthy_solve(1_000_000);
+
+    let report = recorder.latest().unwrap();
+    assert_eq!(report.anomalies.len(), 1, "anomalies: {:?}", report.anomalies);
+    match &report.anomalies[0] {
+        Anomaly::LatencyDrift {
+            op,
+            p99_ns,
+            baseline_ns,
+            ratio,
+        } => {
+            assert_eq!(op, "csr");
+            assert!(p99_ns > baseline_ns);
+            assert!(*ratio >= recorder.detector_config().drift_ratio);
+        }
+        other => panic!("expected LatencyDrift, got {other:?}"),
+    }
+    assert_eq!(
+        recorder.anomaly_counts(),
+        vec![("latency_drift".to_string(), 1)]
+    );
+    // The flagged sample must not poison the baseline: an immediate return
+    // to normal latency is healthy again.
+    healthy_solve(1_000);
+    assert!(recorder.latest().unwrap().anomalies.is_empty());
+
+    // A tail-only spike (a few preempted samples among healthy ones)
+    // inflates p99 but not the median — it must NOT be flagged as drift.
+    for i in 0..100 {
+        recorder.on_event(&Event::LinOpApplyCompleted {
+            op: "csr",
+            wall_ns: if i < 95 { 1_000 } else { 5_000_000 },
+            virtual_ns: 0,
+        });
+    }
+    recorder.on_event(&Event::SolveCompleted {
+        solver: "solver::Cg",
+        iterations: 100,
+        residual: 1e-12,
+        reason: StopReason::ResidualReduction,
+    });
+    let report = recorder.latest().unwrap();
+    assert!(
+        report.anomalies.is_empty(),
+        "tail-only spike misflagged: {:?}",
+        report.anomalies
+    );
+}
+
+/// Satellite 4d: no false positives — repeated converging reference solves
+/// through the full recorder produce zero anomalies of any kind.
+#[test]
+fn healthy_reference_solves_produce_no_anomalies() {
+    let exec = Executor::omp(4);
+    let recorder = exec.enable_flight_recorder();
+    let a = Arc::new(poisson_csr(&exec, 1024));
+    for _ in 0..6 {
+        assert!(solve_cg(&exec, &a).is_converged());
+    }
+    assert_eq!(recorder.reports_len(), 6);
+    assert_eq!(recorder.anomalies_total(), 0, "{:?}", recorder.anomaly_counts());
+    for report in recorder.reports() {
+        assert!(report.converged);
+        assert!(report.anomalies.is_empty());
+        assert!(report.residuals.last <= report.residuals.initial);
+        assert!(report.kernels.iter().any(|k| k.op == "csr"));
+    }
+    exec.disable_flight_recorder();
+}
+
+/// Inert-path regression: with no recorder (or any logger) attached, the
+/// instrumented sites branch away after one relaxed load — a recorder
+/// enabled afterwards has observed nothing.
+#[test]
+fn detached_recorder_observes_nothing() {
+    let exec = Executor::omp(2);
+    let a = poisson_csr(&exec, 512);
+    assert!(
+        !exec.loggers().is_active(),
+        "precondition: the fast path is one relaxed load"
+    );
+    let b = Dense::<f64>::filled(&exec, Dim2::new(512, 1), 1.0);
+    let mut x = Dense::<f64>::zeros(&exec, Dim2::new(512, 1));
+    for _ in 0..4 {
+        a.apply(&b, &mut x).unwrap();
+    }
+    let recorder = exec.enable_flight_recorder();
+    assert_eq!(
+        recorder.events_observed(),
+        0,
+        "pre-attachment kernels must be invisible to the recorder"
+    );
+    assert_eq!(recorder.reports_len(), 0);
+    exec.disable_flight_recorder();
+    assert!(!exec.loggers().is_active(), "disable detaches the recorder");
+}

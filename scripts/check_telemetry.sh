@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Telemetry plane gate: builds and runs the end-to-end probe, which starts
+# the HTTP exporter next to a real CG solve, scrapes /metrics, /healthz and
+# /runs over raw TCP, validates the exposition with the in-tree strict
+# Prometheus parser, checks the solve's flight report is anomaly-free, and
+# self-tests each anomaly detector against its injected fault. Run from
+# anywhere; quick mode keeps it fast enough for CI.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p pygko-bench --bin telemetry_probe
+PYGKO_BENCH_QUICK=1 ./target/release/telemetry_probe
+
+echo "check_telemetry: scrape + detector gate OK"

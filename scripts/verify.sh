@@ -24,4 +24,7 @@ PYGKO_BENCH_QUICK=1 PYGKO_RESULTS_DIR="$SMOKE_DIR" \
 # Benchmark regression gate (plus its injected-slowdown self-test).
 ./scripts/check_bench.sh
 
+# Telemetry plane gate: live scrape endpoints + anomaly-detector self-tests.
+./scripts/check_telemetry.sh
+
 echo "verify: OK"
