@@ -102,7 +102,9 @@ const FORBIDDEN_API_EXEMPT: &[&str] = &[
 ];
 
 /// Entry-point function names rule `instrumentation` inspects.
-const ENTRY_POINTS: &[&str] = &["apply", "apply_advanced", "spmv_into", "spmv"];
+/// `build_plan` is the SpMV inspector: it must carry its own `OpTimer` so
+/// profilers can attribute plan-building cost separately from apply time.
+const ENTRY_POINTS: &[&str] = &["apply", "apply_advanced", "spmv_into", "spmv", "build_plan"];
 
 /// Lints one source file. `rel_path` must be workspace-relative with `/`
 /// separators (it selects which path-scoped rules apply).
@@ -537,6 +539,12 @@ pub fn self_test_cases() -> Vec<SelfTestCase> {
             path: "crates/engine/src/matrix/injected.rs",
             src: "use crate::log::OpTimer;\nimpl Foo {\n    pub fn apply(&self, b: &[f64], x: &mut [f64]) {\n        let _timer = OpTimer::new(self.executor(), \"foo\");\n        x.copy_from_slice(b);\n    }\n}\n",
             expect: None,
+        },
+        SelfTestCase {
+            name: "uninstrumented build_plan inspector",
+            path: "crates/engine/src/matrix/injected.rs",
+            src: "pub fn build_plan(rows: usize) -> Vec<usize> {\n    vec![0, rows]\n}\n",
+            expect: Some(RULE_INSTRUMENTATION),
         },
         SelfTestCase {
             name: "wall-clock read in a kernel",

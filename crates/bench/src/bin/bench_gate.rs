@@ -12,8 +12,10 @@
 //! ```
 //!
 //! and the same band is applied to each kernel's `virtual_p99_ns` in the
-//! per-executor metrics sections. Missing records fail the gate, so a
-//! format or executor silently dropped from the sweep is caught too.
+//! per-executor metrics sections, and to the `plan_build_ns` /
+//! `apply_reused_ns` / `apply_rebuilt_ns` columns of the plan-reuse
+//! ablation when the baseline carries them. Missing records fail the gate,
+//! so a format or executor silently dropped from the sweep is caught too.
 //!
 //! The gate also refuses a candidate whose per-executor metrics carry a
 //! nonzero `anomalies_total` — a sweep that tripped a flight-recorder
@@ -95,6 +97,22 @@ fn flatten(doc: &Config) -> Vec<(String, &'static str, f64)> {
             let key = format!("metrics/{exec}/{}", str_field(k, "op"));
             if let Some(p99) = k.get("virtual_p99_ns").and_then(Config::as_float) {
                 rows.push((key, "virtual_p99_ns", p99));
+            }
+        }
+    }
+    // Plan-reuse ablation (absent from baselines predating the plan cache;
+    // comparisons are baseline-driven, so old files stay fully comparable).
+    if let Some(p) = doc.get("plan_ablation") {
+        let key = format!(
+            "plan_ablation/{}/{}/{}/{}",
+            str_field(p, "matrix"),
+            str_field(p, "format"),
+            str_field(p, "strategy"),
+            str_field(p, "executor"),
+        );
+        for metric in ["plan_build_ns", "apply_reused_ns", "apply_rebuilt_ns"] {
+            if let Some(v) = p.get(metric).and_then(Config::as_float) {
+                rows.push((key.clone(), metric, v));
             }
         }
     }

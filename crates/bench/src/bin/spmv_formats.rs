@@ -2,7 +2,11 @@
 //!
 //! Runs every sparse format on the reference executor and on OpenMP-model
 //! executors with 1/2/4/8/16 threads, on a large (~1.8M-nnz) Poisson
-//! matrix, and writes `results/BENCH_spmv.json` with deterministic
+//! matrix — plus the full CSR strategy sweep (classical, load-balance,
+//! merge-path, auto) on a skewed power-law matrix whose ultra-dense row is
+//! the case merge-path exists for, and a plan-reuse-vs-rebuild ablation
+//! quantifying the cached inspector — and writes
+//! `results/BENCH_spmv.json` with deterministic
 //! virtual-time GFLOP/s, the speedup over the reference executor, the
 //! worker-pool counters (dispatches, chunks, steals, and
 //! `pool_ns_per_dispatch` — mean wall-clock nanoseconds a dispatch spends
@@ -23,10 +27,11 @@ use gko::log::{Profiler, ProfilerSummary};
 use gko::matrix::{Coo, Csr, Dense, Ell, Hybrid, Sellp, SpmvStrategy};
 use gko::{Dim2, Executor, MetricsSnapshot};
 use pygko_bench::{fmt, gflops, quick_mode, results_dir, Report};
-use pygko_matgen::generators::poisson2d;
+use pygko_matgen::generators::{poisson2d, power_law};
 use std::sync::Arc;
 
 struct Record {
+    matrix: String,
     format: &'static str,
     strategy: &'static str,
     executor: String,
@@ -63,7 +68,18 @@ fn main() {
     let gen = poisson2d("poisson2d", grid, grid);
     let nnz = gen.nnz();
     let dim = Dim2::new(gen.rows, gen.cols);
-    println!("matrix: poisson2d_{grid} ({} rows, {nnz} nnz)", gen.rows);
+    let poisson_name = format!("poisson2d_{grid}");
+    println!("matrix: {poisson_name} ({} rows, {nnz} nnz)", gen.rows);
+
+    // Skewed power-law matrix: one row holds ~90% of the columns, so
+    // row-parallel strategies serialize one lane while merge-path splits the
+    // row by nonzero count.
+    let skew_n = if quick_mode() { 20_000 } else { 200_000 };
+    let skew_gen = power_law("powerlaw", skew_n, 2, 0.9, 2026);
+    let skew_nnz = skew_gen.nnz();
+    let skew_dim = Dim2::new(skew_gen.rows, skew_gen.cols);
+    let skew_name = format!("powerlaw_{skew_n}");
+    println!("matrix: {skew_name} ({} rows, {skew_nnz} nnz)", skew_gen.rows);
 
     let executors: Vec<(String, usize, Executor)> = std::iter::once((
         "reference".to_string(),
@@ -94,16 +110,18 @@ fn main() {
         let b = Dense::<f64>::vector(exec, gen.cols, 1.0);
         let mut x = Dense::zeros(exec, Dim2::new(gen.rows, 1));
 
-        let mut push = |format: &'static str, strategy: &'static str, op: &dyn LinOp<f64>,
+        let mut push = |matrix: &str, mat_nnz: usize, format: &'static str,
+                        strategy: &'static str, op: &dyn LinOp<f64>, b: &Dense<f64>,
                         x: &mut Dense<f64>| {
-            let (secs, stats) = run_once(exec, op, &b, x);
+            let (secs, stats) = run_once(exec, op, b, x);
             records.push(Record {
+                matrix: matrix.to_owned(),
                 format,
                 strategy,
                 executor: name.clone(),
                 threads: *threads,
                 seconds: secs,
-                gflops: gflops(nnz, secs),
+                gflops: gflops(mat_nnz, secs),
                 speedup: 0.0, // filled below, once the reference row exists
                 dispatches: stats.dispatches,
                 chunks: stats.chunks,
@@ -116,13 +134,31 @@ fn main() {
             });
         };
 
-        push("csr", "classical", &csr, &mut x);
-        let lb = csr.clone().with_strategy(SpmvStrategy::LoadBalance);
-        push("csr", "load_balance", &lb, &mut x);
-        push("coo", "segmented", &Coo::from_csr(&csr), &mut x);
-        push("ell", "row_parallel", &Ell::from_csr(&csr), &mut x);
-        push("sellp", "slice_parallel", &Sellp::from_csr(&csr), &mut x);
-        push("hybrid", "ell+coo", &Hybrid::from_csr(&csr), &mut x);
+        push(&poisson_name, nnz, "csr", "classical",
+             &csr.clone().with_strategy(SpmvStrategy::Classical), &b, &mut x);
+        push(&poisson_name, nnz, "csr", "load_balance",
+             &csr.clone().with_strategy(SpmvStrategy::LoadBalance), &b, &mut x);
+        push(&poisson_name, nnz, "csr", "merge_path",
+             &csr.clone().with_strategy(SpmvStrategy::MergePath), &b, &mut x);
+        push(&poisson_name, nnz, "csr", "auto", &csr, &b, &mut x);
+        push(&poisson_name, nnz, "coo", "segmented", &Coo::from_csr(&csr), &b, &mut x);
+        push(&poisson_name, nnz, "ell", "row_parallel", &Ell::from_csr(&csr), &b, &mut x);
+        push(&poisson_name, nnz, "sellp", "slice_parallel", &Sellp::from_csr(&csr), &b, &mut x);
+        push(&poisson_name, nnz, "hybrid", "ell+coo", &Hybrid::from_csr(&csr), &b, &mut x);
+
+        // CSR strategy sweep on the skewed matrix: the row the merge-path
+        // kernel exists for.
+        let skew_csr =
+            Csr::<f64, i32>::from_triplets(exec, skew_dim, &skew_gen.triplets).unwrap();
+        let sb = Dense::<f64>::vector(exec, skew_gen.cols, 1.0);
+        let mut sx = Dense::zeros(exec, Dim2::new(skew_gen.rows, 1));
+        push(&skew_name, skew_nnz, "csr", "classical",
+             &skew_csr.clone().with_strategy(SpmvStrategy::Classical), &sb, &mut sx);
+        push(&skew_name, skew_nnz, "csr", "load_balance",
+             &skew_csr.clone().with_strategy(SpmvStrategy::LoadBalance), &sb, &mut sx);
+        push(&skew_name, skew_nnz, "csr", "merge_path",
+             &skew_csr.clone().with_strategy(SpmvStrategy::MergePath), &sb, &mut sx);
+        push(&skew_name, skew_nnz, "csr", "auto", &skew_csr, &sb, &mut sx);
         profiles.push((name.clone(), *threads, profiler.summary()));
         metrics.push((
             name.clone(),
@@ -132,28 +168,29 @@ fn main() {
         exec.clear_loggers();
     }
 
-    // Speedup of each row over the same format/strategy on reference.
+    // Speedup of each row over the same matrix/format/strategy on reference.
     let reference: Vec<(String, f64)> = records
         .iter()
         .filter(|r| r.executor == "reference")
-        .map(|r| (format!("{}/{}", r.format, r.strategy), r.seconds))
+        .map(|r| (format!("{}/{}/{}", r.matrix, r.format, r.strategy), r.seconds))
         .collect();
     for r in records.iter_mut() {
-        let key = format!("{}/{}", r.format, r.strategy);
+        let key = format!("{}/{}/{}", r.matrix, r.format, r.strategy);
         if let Some((_, ref_secs)) = reference.iter().find(|(k, _)| *k == key) {
             r.speedup = ref_secs / r.seconds;
         }
     }
 
     let mut report = Report::new(
-        &format!("SpMV formats on poisson2d_{grid} (virtual time)"),
+        "SpMV formats x strategies (virtual time)",
         &[
-            "format", "strategy", "executor", "threads", "GFLOP/s", "speedup",
+            "matrix", "format", "strategy", "executor", "threads", "GFLOP/s", "speedup",
             "dispatches", "chunks", "steals", "ns/dispatch",
         ],
     );
     for r in &records {
         report.row(vec![
+            r.matrix.clone(),
             r.format.into(),
             r.strategy.into(),
             r.executor.clone(),
@@ -167,6 +204,63 @@ fn main() {
         ]);
     }
     report.print();
+
+    // Plan-reuse vs per-apply-rebuild ablation (the inspector-executor
+    // payoff): the same LoadBalance CSR applied `applies` times with the
+    // cached plan, then again with the cache invalidated before every
+    // apply. Virtual time is deterministic, so the delta is exactly the
+    // modeled inspector cost.
+    let applies = 100usize;
+    let ab_exec = Executor::omp(16);
+    let ab_csr = Csr::<f64, i32>::from_triplets(&ab_exec, dim, &gen.triplets)
+        .unwrap()
+        .with_strategy(SpmvStrategy::LoadBalance);
+    let ab_b = Dense::<f64>::vector(&ab_exec, gen.cols, 1.0);
+    let mut ab_x = Dense::zeros(&ab_exec, Dim2::new(gen.rows, 1));
+    // Measure the inspector alone: one plan build on the virtual timeline.
+    let t0 = ab_exec.timeline().snapshot();
+    let _ = ab_csr.plan();
+    ab_exec.synchronize();
+    let plan_build_secs = ab_exec.timeline().snapshot().since(&t0).seconds();
+    let run_applies = |rebuild: bool, x: &mut Dense<f64>| -> f64 {
+        let t0 = ab_exec.timeline().snapshot();
+        for _ in 0..applies {
+            if rebuild {
+                ab_csr.invalidate_plan();
+            }
+            ab_csr.apply(&ab_b, x).expect("spmv");
+        }
+        ab_exec.synchronize();
+        ab_exec.timeline().snapshot().since(&t0).seconds()
+    };
+    ab_csr.invalidate_plan();
+    let before = ab_csr.plan_stats();
+    let reused_secs = run_applies(false, &mut ab_x);
+    let after = ab_csr.plan_stats();
+    // Counters are monotone; the delta is this run's build/hit behaviour.
+    let reused_stats = gko::matrix::PlanCacheStats {
+        builds: after.builds - before.builds,
+        hits: after.hits - before.hits,
+    };
+    let rebuilt_secs = run_applies(true, &mut ab_x);
+    let reuse_ratio = reused_stats.reuse_ratio();
+    println!(
+        "\nplan ablation ({poisson_name}, csr/load_balance, omp16, {applies} applies):\n  \
+         plan_build {:.3} us | apply (reused) {:.3} us | apply (rebuilt) {:.3} us | \
+         reuse ratio {:.4}",
+        plan_build_secs * 1e6,
+        reused_secs / applies as f64 * 1e6,
+        rebuilt_secs / applies as f64 * 1e6,
+        reuse_ratio
+    );
+    assert!(
+        reuse_ratio >= 0.99,
+        "cached plan should serve >=99% of lookups: {reused_stats:?}"
+    );
+    assert!(
+        reused_secs <= rebuilt_secs,
+        "plan reuse must not be slower than per-apply rebuilds"
+    );
 
     // Per-kernel profiler aggregates for the widest parallel executor.
     if let Some((name, _, summary)) = profiles.last() {
@@ -194,8 +288,8 @@ fn main() {
         .iter()
         .map(|r| {
             Config::map()
-                .with("matrix", format!("poisson2d_{grid}"))
-                .with("nnz", nnz)
+                .with("matrix", r.matrix.as_str())
+                .with("nnz", if r.matrix == poisson_name { nnz } else { skew_nnz })
                 .with("format", r.format)
                 .with("strategy", r.strategy)
                 .with("executor", r.executor.as_str())
@@ -267,10 +361,23 @@ fn main() {
                 .with("kernels", kernels)
         })
         .collect();
+    let plan_ablation_json = Config::map()
+        .with("matrix", poisson_name.as_str())
+        .with("format", "csr")
+        .with("strategy", "load_balance")
+        .with("executor", "omp16")
+        .with("applies", applies)
+        .with("plan_build_ns", plan_build_secs * 1e9)
+        .with("apply_reused_ns", reused_secs / applies as f64 * 1e9)
+        .with("apply_rebuilt_ns", rebuilt_secs / applies as f64 * 1e9)
+        .with("plan_builds", reused_stats.builds as i64)
+        .with("plan_hits", reused_stats.hits as i64)
+        .with("reuse_ratio", reuse_ratio);
     let doc = Config::map()
         .with("records", record_json)
         .with("profiles", profile_json)
-        .with("metrics", metrics_json);
+        .with("metrics", metrics_json)
+        .with("plan_ablation", plan_ablation_json);
 
     let dir = results_dir();
     std::fs::create_dir_all(&dir).expect("create results dir");
@@ -282,7 +389,7 @@ fn main() {
     for format in ["csr", "coo"] {
         let best = records
             .iter()
-            .filter(|r| r.format == format && r.executor != "reference")
+            .filter(|r| r.matrix == poisson_name && r.format == format && r.executor != "reference")
             .map(|r| r.speedup)
             .fold(0.0f64, f64::max);
         println!("best {format} omp speedup vs reference: {best:.2}x");
@@ -291,4 +398,36 @@ fn main() {
             "{format} omp should be at least 2x the reference executor"
         );
     }
+
+    // Merge-path headline: on the skewed matrix at full width, splitting the
+    // ultra-dense row beats every row-parallel strategy.
+    let skew_secs = |strategy: &str| {
+        records
+            .iter()
+            .find(|r| r.matrix == skew_name && r.strategy == strategy && r.executor == "omp16")
+            .map(|r| r.seconds)
+            .expect("skewed omp16 row")
+    };
+    let (mp, lb, cl) = (
+        skew_secs("merge_path"),
+        skew_secs("load_balance"),
+        skew_secs("classical"),
+    );
+    println!(
+        "powerlaw omp16: merge_path {:.1} us vs load_balance {:.1} us vs classical {:.1} us",
+        mp * 1e6,
+        lb * 1e6,
+        cl * 1e6
+    );
+    assert!(
+        mp < lb && mp < cl,
+        "merge-path should win on the skewed matrix: mp {mp} lb {lb} cl {cl}"
+    );
+    // Auto must have picked merge-path there (skew is far past the
+    // threshold), so its row should match merge_path's virtual time.
+    let auto = skew_secs("auto");
+    assert!(
+        (auto - mp).abs() <= 1e-12_f64.max(mp * 1e-9),
+        "auto should resolve to merge-path on the skewed matrix: auto {auto} mp {mp}"
+    );
 }

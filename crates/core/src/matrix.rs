@@ -305,12 +305,16 @@ impl SparseMatrix {
         })
     }
 
-    /// Selects the CSR SpMV strategy: `"classical"` or `"load_balance"`
-    /// (no-op for COO, which is inherently nnz-partitioned).
+    /// Selects the CSR SpMV strategy: `"classical"`, `"load_balance"`,
+    /// `"merge"`/`"merge_path"`, or `"auto"` (the default, which resolves
+    /// from the matrix's row-skew statistics). No-op for COO, which is
+    /// inherently nnz-partitioned.
     pub fn with_spmv_strategy(&self, strategy: &str) -> PyResult<SparseMatrix> {
         let s = match strategy.to_ascii_lowercase().as_str() {
             "classical" => SpmvStrategy::Classical,
-            "load_balance" | "merge" => SpmvStrategy::LoadBalance,
+            "load_balance" => SpmvStrategy::LoadBalance,
+            "merge" | "merge_path" => SpmvStrategy::MergePath,
+            "auto" => SpmvStrategy::Auto,
             other => {
                 return Err(PyGinkgoError::Value(format!(
                     "unknown SpMV strategy '{other}'"
@@ -478,9 +482,11 @@ mod tests {
         let m = sample(&dev, "double", "int32", "Csr");
         let b = as_tensor(vec![1.0, 2.0, 3.0], &dev, (3, 1), "double").unwrap();
         let x1 = m.spmv(&b).unwrap();
-        let m2 = m.with_spmv_strategy("classical").unwrap();
-        let x2 = m2.spmv(&b).unwrap();
-        assert_eq!(x1.to_vec(), x2.to_vec());
+        for strategy in ["classical", "load_balance", "merge", "merge_path", "auto"] {
+            let m2 = m.with_spmv_strategy(strategy).unwrap();
+            let x2 = m2.spmv(&b).unwrap();
+            assert_eq!(x1.to_vec(), x2.to_vec(), "strategy {strategy}");
+        }
         assert!(m.with_spmv_strategy("quantum").is_err());
     }
 

@@ -96,6 +96,25 @@ pub enum Event {
         /// Allocation size in bytes.
         bytes: usize,
     },
+    /// An SpMV execution plan was built (the inspector ran).
+    ///
+    /// Emitted at most once per (matrix, strategy, partition) by the plan
+    /// cache; subsequent applies reuse the cached plan silently. The
+    /// inspector's own wall/virtual cost is carried by the surrounding
+    /// `LinOpApply*` pair for the `<op>::plan` kernel, so profilers can
+    /// attribute inspection separately from apply time.
+    PlanBuilt {
+        /// Operator the plan belongs to, e.g. `"csr"`.
+        op: &'static str,
+        /// Resolved strategy name (`Auto` is resolved before emission).
+        strategy: &'static str,
+        /// Chunks/segments in the built partition.
+        chunks: u64,
+        /// Matrix rows inspected.
+        rows: u64,
+        /// Matrix nonzeros inspected.
+        nnz: u64,
+    },
     /// The worker pool executed one parallel kernel dispatch.
     PoolDispatch {
         /// Chunk closures executed by this dispatch.
@@ -146,6 +165,16 @@ impl fmt::Display for Event {
                 "{solver} solve completed: {iterations} iterations, residual {residual:.6e}, {reason:?}"
             ),
             Event::AllocationComplete { bytes } => write!(f, "allocated {bytes} bytes"),
+            Event::PlanBuilt {
+                op,
+                strategy,
+                chunks,
+                rows,
+                nnz,
+            } => write!(
+                f,
+                "plan {op} built: {strategy}, {chunks} chunks over {rows} rows / {nnz} nnz"
+            ),
             Event::PoolDispatch {
                 chunks,
                 steals,
@@ -531,6 +560,8 @@ pub struct ProfilerSummary {
     pub criterion_checks: u64,
     /// Completed solves observed.
     pub solves: u64,
+    /// SpMV plan (inspector) builds observed.
+    pub plan_builds: u64,
     /// Worker-pool kernel dispatches observed.
     pub pool_dispatches: u64,
     /// Chunk closures executed across those dispatches.
@@ -613,10 +644,11 @@ impl Profiler {
             ));
         }
         out.push_str(&format!(
-            "iterations {} | checks {} | solves {} | pool: {} dispatches, {} chunks, {} steals | allocs {} ({} bytes)\n",
+            "iterations {} | checks {} | solves {} | plans {} | pool: {} dispatches, {} chunks, {} steals | allocs {} ({} bytes)\n",
             summary.iterations,
             summary.criterion_checks,
             summary.solves,
+            summary.plan_builds,
             summary.pool_dispatches,
             summary.pool_chunks,
             summary.pool_steals,
@@ -677,6 +709,7 @@ impl Logger for Profiler {
             Event::IterationComplete { .. } => s.counters.iterations += 1,
             Event::CriterionChecked { .. } => s.counters.criterion_checks += 1,
             Event::SolveCompleted { .. } => s.counters.solves += 1,
+            Event::PlanBuilt { .. } => s.counters.plan_builds += 1,
             Event::AllocationComplete { bytes } => {
                 s.counters.allocations += 1;
                 s.counters.allocated_bytes += bytes as u64;
@@ -1074,6 +1107,13 @@ mod tests {
             residual: 1.0,
             reason: StopReason::MaxIterations,
         });
+        profiler.on_event(&Event::PlanBuilt {
+            op: "csr",
+            strategy: "merge_path",
+            chunks: 16,
+            rows: 100,
+            nnz: 500,
+        });
         let s = profiler.summary();
         assert_eq!(s.pool_dispatches, 1);
         assert_eq!(s.pool_chunks, 8);
@@ -1083,6 +1123,8 @@ mod tests {
         assert_eq!(s.iterations, 1);
         assert_eq!(s.criterion_checks, 1);
         assert_eq!(s.solves, 1);
+        assert_eq!(s.plan_builds, 1);
+        assert!(profiler.report().contains("plans 1"));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Compressed Sparse Row format.
 //!
 //! CSR is Ginkgo's workhorse format and the primary format of the paper's
-//! benchmarks. Two SpMV strategies are provided, mirroring Ginkgo's
+//! benchmarks. Four SpMV strategies are provided, mirroring Ginkgo's
 //! automatic strategy selection (and feeding the strategy ablation bench):
 //!
 //! * [`SpmvStrategy::Classical`] — contiguous row blocks of equal *row*
@@ -9,6 +9,16 @@
 //! * [`SpmvStrategy::LoadBalance`] — row blocks balanced by *nonzero* count
 //!   (row-granularity approximation of Ginkgo's merge-based kernel), which
 //!   is what gives Ginkgo its near-linear NNZ scaling on irregular matrices.
+//! * [`SpmvStrategy::MergePath`] — true merge-based kernel splitting the
+//!   combined (rows + nnz) sequence, so a single ultra-dense row is divided
+//!   across workers instead of serializing one lane.
+//! * [`SpmvStrategy::Auto`] (the default) — picks one of the above from
+//!   row-skew statistics gathered by the plan inspector.
+//!
+//! Partitioning is done once per matrix by the inspector–executor plan
+//! layer ([`crate::matrix::plan`]): the first apply builds an [`SpmvPlan`]
+//! (split points, resolved strategy, per-chunk cost work) which is cached on
+//! the matrix and reused by every later apply until the matrix is mutated.
 
 use crate::base::array::Array;
 use crate::base::dim::Dim2;
@@ -19,7 +29,10 @@ use crate::executor::Executor;
 use crate::linop::{check_apply_dims, LinOp};
 use crate::log::OpTimer;
 use crate::matrix::dense::Dense;
+use crate::matrix::plan::{self, PlanCache, PlanCacheStats, ResolvedStrategy, RowStats, SpmvPlan};
+use crate::sanitize::{report_merge_violation, verify_merge_segments};
 use pygko_sim::ChunkWork;
+use std::sync::Arc;
 
 /// SpMV parallelization strategy.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -27,8 +40,12 @@ pub enum SpmvStrategy {
     /// Equal-row-count chunks (classical row-parallel kernel).
     Classical,
     /// Equal-nonzero-count chunks (load-balanced kernel).
-    #[default]
     LoadBalance,
+    /// Merge-path segments balancing rows + nnz (splits dense rows).
+    MergePath,
+    /// Strategy chosen per matrix from inspected row-skew statistics.
+    #[default]
+    Auto,
 }
 
 /// Sparse matrix in CSR format with value type `V` and index type `I`.
@@ -39,6 +56,52 @@ pub struct Csr<V: Value, I: Index = i32> {
     col_idxs: Array<I>,
     values: Array<V>,
     strategy: SpmvStrategy,
+    /// Cached execution plan; cloning yields a fresh empty cache.
+    plan: PlanCache,
+}
+
+/// 4-wide unrolled sparse dot product of one nonzero span against a dense
+/// vector (`k == 1` right-hand sides). Independent accumulators keep the
+/// loop free of a serial dependency chain so the autovectorizer can keep
+/// multiple FMA lanes busy; the scalar tail preserves exact semantics for
+/// spans shorter than the unroll width. The final pairwise reduction is a
+/// fixed reassociation, so results stay deterministic for a given span.
+#[inline]
+fn dot_span<V: Value, I: Index>(vals: &[V], cols: &[I], bv: &[V]) -> f64 {
+    let mut vv = vals.chunks_exact(4);
+    let mut cc = cols.chunks_exact(4);
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (v, c) in (&mut vv).zip(&mut cc) {
+        a0 += v[0].to_f64() * bv[c[0].to_usize()].to_f64();
+        a1 += v[1].to_f64() * bv[c[1].to_usize()].to_f64();
+        a2 += v[2].to_f64() * bv[c[2].to_usize()].to_f64();
+        a3 += v[3].to_f64() * bv[c[3].to_usize()].to_f64();
+    }
+    let mut tail = 0.0f64;
+    for (v, c) in vv.remainder().iter().zip(cc.remainder().iter()) {
+        tail += v.to_f64() * bv[c.to_usize()].to_f64();
+    }
+    ((a0 + a1) + (a2 + a3)) + tail
+}
+
+/// Raw output pointer shared across merge-path lanes for interior-row
+/// writes (same scheme as the COO segment kernel).
+struct SharedOut<V>(*mut V);
+
+// SAFETY: lanes only dereference offsets of rows *interior* to their own
+// segment; a row interior to a segment has every nonzero inside that
+// segment's range, so those offsets are disjoint between lanes.
+unsafe impl<V: Send> Send for SharedOut<V> {}
+unsafe impl<V: Send> Sync for SharedOut<V> {}
+
+impl<V> SharedOut<V> {
+    /// # Safety
+    ///
+    /// The caller's lane must own `offset` exclusively for the duration of
+    /// the job.
+    unsafe fn slot(&self, offset: usize) -> *mut V {
+        self.0.add(offset)
+    }
 }
 
 /// The CSR structural invariants, checked from scratch. Shared between
@@ -129,6 +192,7 @@ impl<V: Value, I: Index> Csr<V, I> {
             col_idxs: Array::from_vec(exec, col_idxs),
             values: Array::from_vec(exec, values),
             strategy: SpmvStrategy::default(),
+            plan: PlanCache::new(),
         })
     }
 
@@ -150,6 +214,7 @@ impl<V: Value, I: Index> Csr<V, I> {
             col_idxs: Array::from_vec(exec, col_idxs),
             values: Array::from_vec(exec, values),
             strategy: SpmvStrategy::default(),
+            plan: PlanCache::new(),
         }
     }
 
@@ -227,9 +292,11 @@ impl<V: Value, I: Index> Csr<V, I> {
             .expect("dense-derived triplets are always valid")
     }
 
-    /// Chooses the SpMV strategy (builder style).
+    /// Chooses the SpMV strategy (builder style). Drops any cached plan —
+    /// the next apply re-runs the inspector for the new strategy.
     pub fn with_strategy(mut self, strategy: SpmvStrategy) -> Self {
         self.strategy = strategy;
+        self.plan.invalidate();
         self
     }
 
@@ -259,8 +326,42 @@ impl<V: Value, I: Index> Csr<V, I> {
     }
 
     /// Mutable value access (structure stays fixed) — used by factorizations.
+    ///
+    /// Invalidates the cached plan. Today's plans depend only on the
+    /// structure, which value mutation cannot change, but invalidating on
+    /// every mutation keeps the cache trivially coherent with any future
+    /// value-dependent strategy heuristics.
     pub fn values_mut(&mut self) -> &mut [V] {
+        self.plan.invalidate();
         self.values.as_mut_slice()
+    }
+
+    /// The cached execution plan for this matrix on its executor, running
+    /// the inspector on first use (and again after invalidation).
+    pub fn plan(&self) -> Arc<SpmvPlan> {
+        let exec = self.executor();
+        let workers = exec.spec().workers;
+        self.plan.get_or_build(self.strategy, workers, || {
+            plan::build_plan(
+                exec,
+                self.strategy,
+                self.size.rows,
+                self.row_ptrs.as_slice(),
+                V::BYTES,
+            )
+        })
+    }
+
+    /// Plan-cache build/hit counters (the bench ablation's reuse evidence).
+    pub fn plan_stats(&self) -> PlanCacheStats {
+        self.plan.stats()
+    }
+
+    /// Drops the cached plan so the next apply re-runs the inspector. Used
+    /// by the plan-reuse ablation bench; ordinary mutation paths
+    /// ([`Csr::values_mut`], [`Csr::with_strategy`]) invalidate on their own.
+    pub fn invalidate_plan(&self) {
+        self.plan.invalidate();
     }
 
     /// Executor the matrix lives on.
@@ -268,7 +369,8 @@ impl<V: Value, I: Index> Csr<V, I> {
         self.values.executor()
     }
 
-    /// Clones onto another executor.
+    /// Clones onto another executor. The copy starts with an empty plan
+    /// cache (plans are per-executor).
     pub fn clone_to(&self, exec: &Executor) -> Self {
         Csr {
             size: self.size,
@@ -276,6 +378,7 @@ impl<V: Value, I: Index> Csr<V, I> {
             col_idxs: self.col_idxs.copy_to(exec),
             values: self.values.copy_to(exec),
             strategy: self.strategy,
+            plan: PlanCache::new(),
         }
     }
 
@@ -345,38 +448,32 @@ impl<V: Value, I: Index> Csr<V, I> {
             .expect("transpose of valid CSR is valid")
     }
 
-    /// Row chunk boundaries according to the active strategy.
+    /// Row chunk boundaries according to the active strategy (with `Auto`
+    /// resolved from the row statistics).
     ///
     /// Exposed so the cost model, the facade, and the ablation benches can
-    /// inspect the partition a kernel will use.
+    /// inspect the partition a kernel will use. This is the *uncached* path
+    /// for arbitrary chunk counts; applies go through [`Csr::plan`]. For
+    /// [`SpmvStrategy::MergePath`] — whose segments are not row-aligned —
+    /// the reported bounds are the deduplicated row spans of the segments.
     pub fn chunk_bounds(&self, max_chunks: usize) -> Vec<usize> {
         let m = self.size.rows;
-        match self.strategy {
-            SpmvStrategy::Classical => uniform_bounds(m, max_chunks),
-            SpmvStrategy::LoadBalance => {
-                let nnz = self.nnz();
-                if nnz == 0 || m == 0 {
+        let rp = self.row_ptrs.as_slice();
+        let stats = RowStats::inspect(m, rp);
+        match plan::resolve_strategy(self.strategy, &stats) {
+            ResolvedStrategy::Classical => uniform_bounds(m, max_chunks),
+            ResolvedStrategy::LoadBalance => plan::load_balance_bounds(m, rp, max_chunks),
+            ResolvedStrategy::MergePath => {
+                let segs = plan::merge_segments(m, rp, max_chunks);
+                if segs.is_empty() {
                     return uniform_bounds(m, max_chunks);
                 }
-                let chunks = max_chunks.max(1).min(m);
-                let rp = self.row_ptrs.as_slice();
-                let mut bounds = Vec::with_capacity(chunks + 1);
-                bounds.push(0usize);
-                for c in 1..chunks {
-                    let target = c * nnz / chunks;
-                    // First row whose end passes the target.
-                    let row = rp.partition_point(|&p| p.to_usize() < target);
-                    // lint: allow(panic): `bounds` starts with a pushed 0.
-                    let row = row.clamp(*bounds.last().unwrap(), m);
-                    // Skewed nnz distributions (e.g. one dense row holding
-                    // most of the matrix) make several targets resolve to
-                    // the same row. Keeping those duplicates would emit
-                    // empty chunks that inflate the modeled per-chunk
-                    // overhead and the pool's dispatch bookkeeping, so
-                    // boundaries are deduplicated as they are produced.
-                    // lint: allow(panic): `bounds` is never emptied.
-                    if row < m && row != *bounds.last().unwrap() {
-                        bounds.push(row);
+                let mut bounds = vec![0usize];
+                let mut last = 0usize;
+                for s in segs.iter().skip(1) {
+                    if s.row_first > last {
+                        bounds.push(s.row_first);
+                        last = s.row_first;
                     }
                 }
                 bounds.push(m);
@@ -393,13 +490,153 @@ impl<V: Value, I: Index> Csr<V, I> {
             .map(|w| {
                 let rows = (w[1] - w[0]) as f64;
                 let nnz = (rp[w[1]].to_usize() - rp[w[0]].to_usize()) as f64;
-                ChunkWork::new(
-                    nnz * (V::BYTES + I::BYTES) as f64 + rows * (I::BYTES + V::BYTES) as f64,
-                    nnz * V::BYTES as f64, // x gathers
-                    2.0 * nnz,
-                )
+                plan::spmv_chunk_work(rows, nnz, V::BYTES, I::BYTES)
             })
             .collect()
+    }
+
+    /// Row-parallel kernel (Classical and LoadBalance): each chunk owns a
+    /// contiguous row block, so every output element is written by exactly
+    /// one lane.
+    fn spmv_rows(&self, plan: &SpmvPlan, alpha: V, b: &Dense<V>, beta: V, x: &mut Dense<V>) {
+        let k = b.size().cols;
+        let bounds = &plan.row_bounds;
+        let rp = self.row_ptrs.as_slice();
+        let ci = self.col_idxs.as_slice();
+        let vals = self.values.as_slice();
+        let bv = b.as_slice();
+        let exec = self.executor().clone();
+        let elem_bounds: Vec<usize> = bounds.iter().map(|&r| r * k).collect();
+        parallel_chunks(&exec, x.as_mut_slice(), &elem_bounds, |chunk, xs| {
+            let row0 = bounds[chunk];
+            if k == 1 {
+                for (local, out) in xs.iter_mut().enumerate() {
+                    let r = row0 + local;
+                    let (lo, hi) = (rp[r].to_usize(), rp[r + 1].to_usize());
+                    let prod = V::from_f64(dot_span(&vals[lo..hi], &ci[lo..hi], bv));
+                    *out = if beta == V::zero() {
+                        alpha * prod
+                    } else {
+                        alpha * prod + beta * *out
+                    };
+                }
+            } else {
+                for (local, xrow) in xs.chunks_mut(k).enumerate() {
+                    let r = row0 + local;
+                    let (lo, hi) = (rp[r].to_usize(), rp[r + 1].to_usize());
+                    for (c, out) in xrow.iter_mut().enumerate() {
+                        let mut acc = 0.0f64;
+                        for idx in lo..hi {
+                            acc += vals[idx].to_f64() * bv[ci[idx].to_usize() * k + c].to_f64();
+                        }
+                        let prod = V::from_f64(acc);
+                        *out = if beta == V::zero() {
+                            alpha * prod
+                        } else {
+                            alpha * prod + beta * *out
+                        };
+                    }
+                }
+            }
+        });
+    }
+
+    /// Merge-path kernel: each segment owns a contiguous nonzero range.
+    /// Rows interior to a segment are written directly (exclusive
+    /// ownership); the segment's first and last rows — which a boundary may
+    /// split — accumulate into per-segment scratch that a serial pass merges
+    /// in segment order, keeping results deterministic for a given plan.
+    fn spmv_merge(&self, plan: &SpmvPlan, alpha: V, b: &Dense<V>, beta: V, x: &mut Dense<V>) {
+        let k = b.size().cols;
+        let segments = &plan.segments;
+        let rp = self.row_ptrs.as_slice();
+        if self.executor().sanitizer().is_enabled() {
+            if let Err(v) = verify_merge_segments(rp, segments) {
+                report_merge_violation(&v);
+            }
+        }
+        // Prescale so rows no segment touches (empty rows) need no writes,
+        // and segment lanes can blindly accumulate.
+        if beta == V::zero() {
+            x.fill(V::zero());
+        } else if beta != V::one() {
+            x.scale(beta);
+        }
+        let ci = self.col_idxs.as_slice();
+        let vals = self.values.as_slice();
+        let bv = b.as_slice();
+        let exec = self.executor().clone();
+
+        // Scratch layout: per segment, k slots for its first row followed by
+        // k slots for its last row (unused when the segment has one row).
+        let segs = segments.len();
+        let mut scratch = vec![0.0f64; segs * 2 * k];
+        let scratch_bounds: Vec<usize> = (0..=segs).map(|s| s * 2 * k).collect();
+        let xs_out = SharedOut(x.as_mut_slice().as_mut_ptr());
+        parallel_chunks(&exec, scratch.as_mut_slice(), &scratch_bounds, |s, sc| {
+            let seg = segments[s];
+            let mut idx = seg.nnz_start;
+            let mut r = seg.row_first;
+            while idx < seg.nnz_end {
+                // Skip rows already finished (and empty rows in between).
+                while rp[r + 1].to_usize() <= idx {
+                    r += 1;
+                }
+                let row_end = rp[r + 1].to_usize().min(seg.nnz_end);
+                if k == 1 {
+                    let acc = dot_span(&vals[idx..row_end], &ci[idx..row_end], bv);
+                    if r == seg.row_first {
+                        sc[0] = acc;
+                    } else if r == seg.row_last {
+                        sc[1] = acc;
+                    } else {
+                        // SAFETY: `r` is interior to this segment, so every
+                        // nonzero of row `r` lies in this segment's range
+                        // and no other lane touches this output.
+                        unsafe {
+                            *xs_out.slot(r) += alpha * V::from_f64(acc);
+                        }
+                    }
+                } else {
+                    let mut acc = vec![0.0f64; k];
+                    for e in idx..row_end {
+                        let col = ci[e].to_usize();
+                        let v = vals[e].to_f64();
+                        for (c, a) in acc.iter_mut().enumerate() {
+                            *a += v * bv[col * k + c].to_f64();
+                        }
+                    }
+                    if r == seg.row_first {
+                        sc[..k].copy_from_slice(&acc);
+                    } else if r == seg.row_last {
+                        sc[k..].copy_from_slice(&acc);
+                    } else {
+                        for (c, a) in acc.into_iter().enumerate() {
+                            // SAFETY: disjoint interior-row ownership argued
+                            // in the k == 1 branch above.
+                            unsafe {
+                                *xs_out.slot(r * k + c) += alpha * V::from_f64(a);
+                            }
+                        }
+                    }
+                }
+                idx = row_end;
+            }
+        });
+        // Merge boundary rows serially in segment order: a row split across
+        // segments receives its pieces in a fixed sequence.
+        let xs = x.as_mut_slice();
+        for (s, seg) in segments.iter().enumerate() {
+            let sc = &scratch[s * 2 * k..(s + 1) * 2 * k];
+            for c in 0..k {
+                xs[seg.row_first * k + c] += alpha * V::from_f64(sc[c]);
+            }
+            if seg.row_last != seg.row_first {
+                for c in 0..k {
+                    xs[seg.row_last * k + c] += alpha * V::from_f64(sc[k + c]);
+                }
+            }
+        }
     }
 
     fn spmv_into(&self, alpha: V, b: &Dense<V>, beta: V, x: &mut Dense<V>) -> Result<()> {
@@ -411,37 +648,14 @@ impl<V: Value, I: Index> Csr<V, I> {
             });
         }
         let _timer = OpTimer::new(self.executor(), "csr");
-        let k = b.size().cols;
-        let spec = self.executor().spec();
-        let bounds = self.chunk_bounds(spec.workers * 4);
-        let work = self.spmv_work(&bounds);
-
-        let rp = self.row_ptrs.as_slice();
-        let ci = self.col_idxs.as_slice();
-        let vals = self.values.as_slice();
-        let bv = b.as_slice();
-        let exec = self.executor().clone();
-        let elem_bounds: Vec<usize> = bounds.iter().map(|&r| r * k).collect();
-        parallel_chunks(&exec, x.as_mut_slice(), &elem_bounds, |chunk, xs| {
-            let row0 = bounds[chunk];
-            for (local, xrow) in xs.chunks_mut(k).enumerate() {
-                let r = row0 + local;
-                let (lo, hi) = (rp[r].to_usize(), rp[r + 1].to_usize());
-                for (c, out) in xrow.iter_mut().enumerate() {
-                    let mut acc = 0.0f64;
-                    for idx in lo..hi {
-                        acc += vals[idx].to_f64() * bv[ci[idx].to_usize() * k + c].to_f64();
-                    }
-                    let prod = V::from_f64(acc);
-                    *out = if beta == V::zero() {
-                        alpha * prod
-                    } else {
-                        alpha * prod + beta * *out
-                    };
-                }
+        let plan = self.plan();
+        match plan.resolved {
+            ResolvedStrategy::Classical | ResolvedStrategy::LoadBalance => {
+                self.spmv_rows(&plan, alpha, b, beta, x)
             }
-        });
-        self.executor().launch(&work);
+            ResolvedStrategy::MergePath => self.spmv_merge(&plan, alpha, b, beta, x),
+        }
+        self.executor().launch(&plan.work);
         Ok(())
     }
 }
@@ -698,5 +912,150 @@ mod tests {
         let work = a.spmv_work(&bounds);
         let flops: f64 = work.iter().map(|w| w.flops).sum();
         assert_eq!(flops, 2.0 * a.nnz() as f64);
+    }
+
+    #[test]
+    fn plan_is_cached_and_reused_across_applies() {
+        let e = Executor::omp(4);
+        let a = sample(&e);
+        let b = Dense::from_rows(&e, &[[1.0f64], [2.0], [3.0]]);
+        let mut x = Dense::zeros(&e, Dim2::new(3, 1));
+        for _ in 0..5 {
+            a.apply(&b, &mut x).unwrap();
+        }
+        let stats = a.plan_stats();
+        assert_eq!(stats.builds, 1, "inspector ran once: {stats:?}");
+        assert_eq!(stats.hits, 4, "remaining applies reused the plan");
+        // Explicit invalidation forces a rebuild on the next apply.
+        a.invalidate_plan();
+        a.apply(&b, &mut x).unwrap();
+        assert_eq!(a.plan_stats().builds, 2);
+    }
+
+    #[test]
+    fn plan_invalidated_on_value_mutation() {
+        let e = exec();
+        let mut a = sample(&e);
+        let b = Dense::from_rows(&e, &[[1.0f64], [2.0], [3.0]]);
+        let mut x = Dense::zeros(&e, Dim2::new(3, 1));
+        a.apply(&b, &mut x).unwrap();
+        assert_eq!(a.plan_stats().builds, 1);
+        a.values_mut()[0] = 10.0;
+        a.apply(&b, &mut x).unwrap();
+        assert_eq!(a.plan_stats().builds, 2, "mutation rebuilt the plan");
+        assert_eq!(x.to_host_vec(), vec![13.0, 6.0, 32.0]);
+    }
+
+    #[test]
+    fn clone_does_not_share_plan_cache() {
+        let e = exec();
+        let a = sample(&e);
+        let b = Dense::from_rows(&e, &[[1.0f64], [2.0], [3.0]]);
+        let mut x = Dense::zeros(&e, Dim2::new(3, 1));
+        a.apply(&b, &mut x).unwrap();
+        assert_eq!(a.plan_stats().builds, 1);
+        // The clone starts with an empty cache (no stale shared plan) and
+        // builds its own on first apply, leaving the original untouched.
+        let c = a.clone();
+        assert_eq!(c.plan_stats(), PlanCacheStats::default());
+        c.apply(&b, &mut x).unwrap();
+        assert_eq!(c.plan_stats().builds, 1);
+        assert_eq!(a.plan_stats().builds, 1);
+    }
+
+    #[test]
+    fn auto_default_resolves_deterministically() {
+        let e = exec();
+        let a = sample(&e);
+        assert_eq!(a.strategy(), SpmvStrategy::Auto, "Auto is the default");
+        let r1 = a.plan().resolved;
+        for _ in 0..5 {
+            assert_eq!(a.plan().resolved, r1);
+        }
+        // An independently built copy of the same structure resolves the
+        // same way: resolution is purely structural.
+        assert_eq!(sample(&e).plan().resolved, r1);
+    }
+
+    /// Degenerate shapes where merge-path segment handling has edge cases:
+    /// interleaved empty rows, a single dense row, a column vector, and a
+    /// single-entry matrix. Integer-valued data keeps every partial-sum
+    /// order bitwise exact, so merge-path must equal classical exactly.
+    #[test]
+    fn merge_path_matches_classical_on_degenerate_shapes() {
+        type Case = (Dim2, Vec<(usize, usize, f64)>);
+        for e in [Executor::reference(), Executor::omp(7)] {
+            let cases: Vec<Case> = vec![
+                // Empty rows around sparse ones.
+                (
+                    Dim2::new(6, 4),
+                    vec![(1, 0, 2.0), (1, 3, 1.0), (4, 2, 3.0)],
+                ),
+                // Single dense row (1 x N).
+                (
+                    Dim2::new(1, 40),
+                    (0..40).map(|j| (0usize, j, (j % 5) as f64 - 2.0)).collect(),
+                ),
+                // Column vector (N x 1).
+                (
+                    Dim2::new(17, 1),
+                    (0..17).map(|i| (i, 0usize, i as f64)).collect(),
+                ),
+                // Single entry.
+                (Dim2::new(3, 3), vec![(2, 2, 5.0)]),
+            ];
+            for (dim, triplets) in cases {
+                let merge = Csr::<f64, i32>::from_triplets(&e, dim, &triplets)
+                    .unwrap()
+                    .with_strategy(SpmvStrategy::MergePath);
+                let classical = Csr::<f64, i32>::from_triplets(&e, dim, &triplets)
+                    .unwrap()
+                    .with_strategy(SpmvStrategy::Classical);
+                let bv: Vec<f64> = (0..dim.cols * 2).map(|t| ((t % 7) as f64) - 3.0).collect();
+                let b = Dense::from_vec(&e, Dim2::new(dim.cols, 2), bv).unwrap();
+                let xv: Vec<f64> = (0..dim.rows * 2).map(|t| t as f64).collect();
+                let mut xm = Dense::from_vec(&e, Dim2::new(dim.rows, 2), xv).unwrap();
+                let mut xc = xm.clone();
+                merge.apply_advanced(2.0, &b, -1.0, &mut xm).unwrap();
+                classical.apply_advanced(2.0, &b, -1.0, &mut xc).unwrap();
+                assert_eq!(
+                    xm.to_host_vec(),
+                    xc.to_host_vec(),
+                    "dim {dim:?} on {}",
+                    e.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_path_splits_dense_row_and_verifies_under_sanitizer() {
+        let e = Executor::omp(8);
+        e.enable_sanitizer();
+        // Skewed: one row holds most nonzeros, so Auto resolves to
+        // merge-path and the dense row is split across segments.
+        let n = 64;
+        let mut triplets: Vec<(usize, usize, f64)> = (0..n).map(|j| (3usize, j, 1.0)).collect();
+        for i in 0..n {
+            if i != 3 {
+                triplets.push((i, i, 2.0));
+            }
+        }
+        let a = Csr::<f64, i32>::from_triplets(&e, Dim2::square(n), &triplets).unwrap();
+        let plan = a.plan();
+        assert_eq!(plan.resolved, ResolvedStrategy::MergePath);
+        assert!(
+            plan.segments.iter().filter(|s| s.row_first <= 3 && 3 <= s.row_last).count() > 1,
+            "dense row split across segments"
+        );
+        let b = Dense::vector(&e, n, 1.0f64);
+        let mut x = Dense::zeros(&e, Dim2::new(n, 1));
+        // Sanitizer-on apply validates the segment partition and the pool's
+        // claim log; any violation panics.
+        a.apply(&b, &mut x).unwrap();
+        let xs = x.to_host_vec();
+        assert_eq!(xs[3], n as f64, "dense row sums all columns");
+        assert_eq!(xs[0], 2.0);
+        assert_eq!(xs[n - 1], 2.0);
     }
 }

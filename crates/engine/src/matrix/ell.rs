@@ -182,20 +182,51 @@ impl<V: Value, I: Index> LinOp<V> for Ell<V, I> {
         let elem_bounds: Vec<usize> = bounds.iter().map(|&r| r * k).collect();
         parallel_chunks(&exec, x.as_mut_slice(), &elem_bounds, |chunk, xs| {
             let row0 = bounds[chunk];
-            for (local, xrow) in xs.chunks_mut(k).enumerate() {
-                let r = row0 + local;
-                for (c, out) in xrow.iter_mut().enumerate() {
-                    let mut acc = 0.0f64;
-                    for slot in 0..stored {
-                        let idx = slot * rows + r;
-                        acc += vals[idx].to_f64() * bv[ci[idx].to_usize() * k + c].to_f64();
+            if k == 1 {
+                // Unrolled slot walk: four independent accumulators hide the
+                // gather latency chain; the scalar tail covers stored % 4.
+                for (local, out) in xs.iter_mut().enumerate() {
+                    let r = row0 + local;
+                    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+                    let mut slot = 0usize;
+                    while slot + 4 <= stored {
+                        let (i0, i1) = (slot * rows + r, (slot + 1) * rows + r);
+                        let (i2, i3) = ((slot + 2) * rows + r, (slot + 3) * rows + r);
+                        a0 += vals[i0].to_f64() * bv[ci[i0].to_usize()].to_f64();
+                        a1 += vals[i1].to_f64() * bv[ci[i1].to_usize()].to_f64();
+                        a2 += vals[i2].to_f64() * bv[ci[i2].to_usize()].to_f64();
+                        a3 += vals[i3].to_f64() * bv[ci[i3].to_usize()].to_f64();
+                        slot += 4;
                     }
-                    let prod = V::from_f64(acc);
+                    let mut tail = 0.0f64;
+                    while slot < stored {
+                        let idx = slot * rows + r;
+                        tail += vals[idx].to_f64() * bv[ci[idx].to_usize()].to_f64();
+                        slot += 1;
+                    }
+                    let prod = V::from_f64(((a0 + a1) + (a2 + a3)) + tail);
                     *out = if beta == V::zero() {
                         alpha * prod
                     } else {
                         alpha * prod + beta * *out
                     };
+                }
+            } else {
+                for (local, xrow) in xs.chunks_mut(k).enumerate() {
+                    let r = row0 + local;
+                    for (c, out) in xrow.iter_mut().enumerate() {
+                        let mut acc = 0.0f64;
+                        for slot in 0..stored {
+                            let idx = slot * rows + r;
+                            acc += vals[idx].to_f64() * bv[ci[idx].to_usize() * k + c].to_f64();
+                        }
+                        let prod = V::from_f64(acc);
+                        *out = if beta == V::zero() {
+                            alpha * prod
+                        } else {
+                            alpha * prod + beta * *out
+                        };
+                    }
                 }
             }
         });

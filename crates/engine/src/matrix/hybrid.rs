@@ -5,6 +5,10 @@
 //! split width is chosen from the row-length distribution (Ginkgo uses a
 //! percentile heuristic), so skewed matrices keep ELL's regularity without
 //! ELL's padding blow-up.
+//!
+//! The apply delegates to the two parts, so Hybrid inherits the ELL
+//! kernel's unrolled four-accumulator inner loop (see
+//! [`Ell`](crate::matrix::ell::Ell)) on the regular part for free.
 
 use crate::base::dim::Dim2;
 use crate::base::error::Result;

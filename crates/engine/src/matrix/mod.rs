@@ -14,11 +14,13 @@ pub mod dense;
 pub mod diagonal;
 pub mod ell;
 pub mod hybrid;
+pub mod plan;
 pub mod sellp;
 
 pub use conv::Conv2d;
 pub use coo::Coo;
 pub use csr::{Csr, SpmvStrategy};
+pub use plan::{MergeSegment, PlanCacheStats, ResolvedStrategy, RowStats, SpmvPlan};
 pub use dense::Dense;
 pub use diagonal::Diagonal;
 pub use ell::Ell;

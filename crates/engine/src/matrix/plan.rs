@@ -1,0 +1,641 @@
+//! Inspector–executor SpMV plans.
+//!
+//! Iterative solvers apply the *same* matrix thousands of times, yet until
+//! this layer existed every apply re-derived its chunk partition from the
+//! row pointers. Following Ginkgo's strategy machinery (and the classic
+//! inspector–executor split), the partition work is now done once by an
+//! *inspector* ([`build_plan`]) and the result — an [`SpmvPlan`] holding the
+//! resolved strategy, precomputed split points, per-chunk cost descriptions,
+//! and row-skew statistics — is cached on the matrix ([`PlanCache`]) and
+//! reused by every subsequent apply until the matrix is mutated.
+//!
+//! Three partition shapes are produced:
+//!
+//! * **Classical** — equal-row-count chunks, oversubscribed 4× so the pool's
+//!   work stealing can absorb moderate imbalance.
+//! * **LoadBalance** — equal-nonzero-count row chunks. Balanced by
+//!   construction, so the plan emits exactly one chunk per worker: the old
+//!   per-apply path oversubscribed these too, paying 4× the modeled
+//!   per-chunk overhead for balance the partition already had.
+//! * **MergePath** — diagonal splits of the merged (rows + nnz) sequence
+//!   (Merrill & Garland's merge-based CSR). Each segment owns a contiguous
+//!   nonzero range and the rows it spans, so a single ultra-dense row is
+//!   divided across workers instead of serializing one lane.
+//!
+//! [`SpmvStrategy::Auto`] resolves to one of the three from the inspected
+//! skew statistics; the resolution is purely structural (row pointers only),
+//! so it is deterministic and identical on every executor.
+
+use crate::base::types::Index;
+use crate::executor::pool::uniform_bounds;
+use crate::executor::Executor;
+use crate::log::{Event, OpTimer};
+use crate::matrix::csr::SpmvStrategy;
+use pygko_sim::ChunkWork;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Classical chunks per worker: oversubscription lets stealing absorb the
+/// row-length imbalance a uniform row split cannot see.
+pub const CLASSICAL_OVERSUBSCRIPTION: usize = 4;
+
+/// `Auto` picks [`SpmvStrategy::LoadBalance`] once the heaviest row exceeds
+/// this multiple of the average row length.
+pub const BALANCE_SKEW: f64 = 4.0;
+
+/// `Auto` escalates to [`SpmvStrategy::MergePath`] once the heaviest row
+/// exceeds this multiple of the average — at that point one row rivals a
+/// whole worker's fair share and must itself be split.
+pub const MERGE_SKEW: f64 = 32.0;
+
+// ---------------------------------------------------------------------------
+// Row statistics (the inspector's measurements)
+// ---------------------------------------------------------------------------
+
+/// Row-length statistics derived from a CSR row-pointer array.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RowStats {
+    /// Matrix rows.
+    pub rows: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Nonzeros in the heaviest row.
+    pub max_row_nnz: usize,
+    /// Rows with no stored entries.
+    pub empty_rows: usize,
+}
+
+impl RowStats {
+    /// One streaming pass over the row pointers.
+    pub fn inspect<I: Index>(rows: usize, row_ptrs: &[I]) -> Self {
+        let mut max_row_nnz = 0usize;
+        let mut empty_rows = 0usize;
+        for r in 0..rows {
+            let len = row_ptrs[r + 1].to_usize() - row_ptrs[r].to_usize();
+            max_row_nnz = max_row_nnz.max(len);
+            if len == 0 {
+                empty_rows += 1;
+            }
+        }
+        let nnz = if rows == 0 {
+            0
+        } else {
+            row_ptrs[rows].to_usize()
+        };
+        RowStats {
+            rows,
+            nnz,
+            max_row_nnz,
+            empty_rows,
+        }
+    }
+
+    /// Mean nonzeros per row (0 for an empty matrix).
+    pub fn avg_row_nnz(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / self.rows as f64
+        }
+    }
+
+    /// Heaviest row relative to the mean (1.0 for uniform rows).
+    pub fn skew(&self) -> f64 {
+        let avg = self.avg_row_nnz();
+        if avg > 0.0 {
+            self.max_row_nnz as f64 / avg
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Resolves `Auto` into a concrete strategy from the inspected statistics.
+///
+/// Purely structural, so the same matrix resolves identically on every
+/// executor and every run.
+pub fn resolve_strategy(requested: SpmvStrategy, stats: &RowStats) -> ResolvedStrategy {
+    match requested {
+        SpmvStrategy::Classical => ResolvedStrategy::Classical,
+        SpmvStrategy::LoadBalance => ResolvedStrategy::LoadBalance,
+        SpmvStrategy::MergePath => ResolvedStrategy::MergePath,
+        SpmvStrategy::Auto => {
+            let skew = stats.skew();
+            if skew >= MERGE_SKEW {
+                ResolvedStrategy::MergePath
+            } else if skew >= BALANCE_SKEW {
+                ResolvedStrategy::LoadBalance
+            } else {
+                ResolvedStrategy::Classical
+            }
+        }
+    }
+}
+
+/// The concrete kernel a plan executes (`Auto` already resolved).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResolvedStrategy {
+    /// Equal-row-count chunks.
+    Classical,
+    /// Equal-nonzero-count row chunks.
+    LoadBalance,
+    /// Merge-path (rows + nnz) diagonal segments.
+    MergePath,
+}
+
+impl ResolvedStrategy {
+    /// Stable lowercase name (used in events and bench records).
+    pub fn name(self) -> &'static str {
+        match self {
+            ResolvedStrategy::Classical => "classical",
+            ResolvedStrategy::LoadBalance => "load_balance",
+            ResolvedStrategy::MergePath => "merge_path",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Partition helpers (pure functions over the row pointers)
+// ---------------------------------------------------------------------------
+
+/// Row boundaries with (approximately) equal nonzeros per chunk, deduplicated
+/// so skewed matrices never produce empty chunks.
+pub fn load_balance_bounds<I: Index>(rows: usize, row_ptrs: &[I], max_chunks: usize) -> Vec<usize> {
+    let nnz = if rows == 0 {
+        0
+    } else {
+        row_ptrs[rows].to_usize()
+    };
+    if nnz == 0 || rows == 0 {
+        return uniform_bounds(rows, max_chunks);
+    }
+    let chunks = max_chunks.max(1).min(rows);
+    let mut bounds = Vec::with_capacity(chunks + 1);
+    bounds.push(0usize);
+    let mut prev = 0usize;
+    for c in 1..chunks {
+        let target = c * nnz / chunks;
+        // First row whose end passes the target.
+        let row = row_ptrs.partition_point(|&p| p.to_usize() < target);
+        // Skewed nnz distributions (e.g. one dense row holding most of the
+        // matrix) make several targets resolve to the same row; duplicates
+        // would be empty chunks inflating the modeled per-chunk overhead,
+        // so boundaries are deduplicated as they are produced.
+        let row = row.clamp(prev, rows);
+        if row < rows && row != prev {
+            bounds.push(row);
+            prev = row;
+        }
+    }
+    bounds.push(rows);
+    bounds
+}
+
+/// One merge-path segment: a contiguous nonzero range plus the rows it
+/// spans. `row_first`/`row_last` are the rows of the first and last owned
+/// nonzero; either may extend into neighbouring segments (a split row),
+/// which is why the executing kernel routes their partial sums through
+/// per-segment scratch instead of writing them directly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MergeSegment {
+    /// First owned nonzero index (inclusive).
+    pub nnz_start: usize,
+    /// One past the last owned nonzero index.
+    pub nnz_end: usize,
+    /// Row containing nonzero `nnz_start`.
+    pub row_first: usize,
+    /// Row containing nonzero `nnz_end - 1`.
+    pub row_last: usize,
+}
+
+/// Row index of nonzero `e` (last row whose pointer is `<= e`).
+fn row_of<I: Index>(row_ptrs: &[I], e: usize) -> usize {
+    row_ptrs.partition_point(|&p| p.to_usize() <= e) - 1
+}
+
+/// Splits the merged (rows + nnz) decision sequence into `max_chunks`
+/// balanced segments via diagonal binary searches.
+///
+/// For diagonal `d`, the split row is the largest `r` with
+/// `row_ptrs[r] + r <= d` (the left side is strictly increasing in `r`) and
+/// the nonzero cursor is `d - r`, which the same inequality pins inside
+/// `row_ptrs[r] ..= row_ptrs[r + 1]`. Segments with no nonzeros (diagonals
+/// advancing only through empty rows) are dropped — empty rows cost the
+/// executing kernel nothing.
+pub fn merge_segments<I: Index>(rows: usize, row_ptrs: &[I], max_chunks: usize) -> Vec<MergeSegment> {
+    let nnz = if rows == 0 {
+        0
+    } else {
+        row_ptrs[rows].to_usize()
+    };
+    if nnz == 0 {
+        return Vec::new();
+    }
+    let total = rows + nnz;
+    let chunks = max_chunks.max(1).min(total);
+    let mut cuts: Vec<usize> = Vec::with_capacity(chunks + 1);
+    cuts.push(0);
+    let mut last_cut = 0usize;
+    for c in 1..chunks {
+        let d = c * total / chunks;
+        // Largest r in [0, rows] with row_ptrs[r] + r <= d.
+        let (mut lo, mut hi) = (0usize, rows);
+        while lo < hi {
+            let mid = lo + (hi - lo).div_ceil(2);
+            if row_ptrs[mid].to_usize() + mid <= d {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let cut = d - lo;
+        if cut > last_cut && cut < nnz {
+            cuts.push(cut);
+            last_cut = cut;
+        }
+    }
+    cuts.push(nnz);
+    cuts.windows(2)
+        .map(|w| MergeSegment {
+            nnz_start: w[0],
+            nnz_end: w[1],
+            row_first: row_of(row_ptrs, w[0]),
+            row_last: row_of(row_ptrs, w[1] - 1),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The plan
+// ---------------------------------------------------------------------------
+
+/// A cached, per-matrix SpMV execution plan (the inspector's output).
+#[derive(Clone, Debug)]
+pub struct SpmvPlan {
+    /// Strategy the matrix requested (cache key together with `workers`).
+    pub requested: SpmvStrategy,
+    /// Concrete strategy after `Auto` resolution.
+    pub resolved: ResolvedStrategy,
+    /// Worker count of the executor the plan was built for.
+    pub workers: usize,
+    /// Row chunk boundaries (Classical / LoadBalance; empty for MergePath).
+    pub row_bounds: Vec<usize>,
+    /// Merge-path segments (MergePath only; empty otherwise).
+    pub segments: Vec<MergeSegment>,
+    /// Per-chunk cost-model work, aligned with the partition above.
+    pub work: Vec<ChunkWork>,
+    /// Row-skew statistics gathered by the inspector.
+    pub stats: RowStats,
+}
+
+impl SpmvPlan {
+    /// Number of parallel pieces the plan dispatches.
+    pub fn chunks(&self) -> usize {
+        if self.segments.is_empty() {
+            self.row_bounds.len().saturating_sub(1)
+        } else {
+            self.segments.len()
+        }
+    }
+}
+
+/// Counters describing one matrix's plan-cache behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Inspector runs (first apply, and after each invalidation).
+    pub builds: u64,
+    /// Applies served by a cached plan.
+    pub hits: u64,
+}
+
+impl PlanCacheStats {
+    /// Fraction of plan lookups served from cache.
+    pub fn reuse_ratio(&self) -> f64 {
+        let total = self.builds + self.hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-matrix plan slot plus build/hit counters.
+///
+/// The slot invalidates itself when the lookup key (requested strategy,
+/// executor worker count) changes; structural mutation must call
+/// [`PlanCache::invalidate`] explicitly.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    slot: Mutex<Option<Arc<SpmvPlan>>>,
+    builds: AtomicU64,
+    hits: AtomicU64,
+}
+
+/// Cloning a matrix must not share plan state: the clone starts with an
+/// empty cache so later mutation of either copy cannot serve the other a
+/// stale plan.
+impl Clone for PlanCache {
+    fn clone(&self) -> Self {
+        PlanCache::default()
+    }
+}
+
+impl PlanCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Drops the cached plan (the next apply re-runs the inspector).
+    pub fn invalidate(&self) {
+        *self.slot.lock().unwrap_or_else(PoisonError::into_inner) = None;
+    }
+
+    /// Build/hit counters (monotone; survive invalidation).
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            builds: self.builds.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Returns the cached plan for `(requested, workers)`, or builds one.
+    ///
+    /// The slot lock is held across `build`, so concurrent first applies of
+    /// one matrix run the inspector exactly once.
+    pub fn get_or_build<F>(&self, requested: SpmvStrategy, workers: usize, build: F) -> Arc<SpmvPlan>
+    where
+        F: FnOnce() -> SpmvPlan,
+    {
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(plan) = slot.as_ref() {
+            if plan.requested == requested && plan.workers == workers {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return plan.clone();
+            }
+        }
+        let plan = Arc::new(build());
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        *slot = Some(plan.clone());
+        plan
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The inspector
+// ---------------------------------------------------------------------------
+
+/// Cost-model work of an SpMV chunk covering `rows` rows and `nnz` nonzeros
+/// (shared by every CSR partition shape so all strategies are charged
+/// identically per nonzero). `vb`/`ib` are the value/index byte widths.
+pub(crate) fn spmv_chunk_work(rows: f64, nnz: f64, vb: usize, ib: usize) -> ChunkWork {
+    ChunkWork::new(
+        nnz * (vb + ib) as f64 + rows * (ib + vb) as f64,
+        nnz * vb as f64, // x gathers
+        2.0 * nnz,
+    )
+}
+
+/// Runs the inspector: gathers row statistics, resolves the strategy,
+/// computes the partition and its per-chunk work, charges the inspection
+/// pass to the virtual timeline, and emits [`Event::PlanBuilt`].
+///
+/// The surrounding [`OpTimer`] publishes the inspector's wall/virtual cost
+/// as the `csr::plan` kernel, so profilers attribute plan building
+/// separately from apply time (it shows up as a child frame of the first
+/// `csr` apply).
+pub fn build_plan<I: Index>(
+    exec: &Executor,
+    requested: SpmvStrategy,
+    rows: usize,
+    row_ptrs: &[I],
+    value_bytes: usize,
+) -> SpmvPlan {
+    let _timer = OpTimer::new(exec, "csr::plan");
+    let workers = exec.spec().workers;
+    let stats = RowStats::inspect(rows, row_ptrs);
+    let resolved = resolve_strategy(requested, &stats);
+    let (row_bounds, segments) = match resolved {
+        ResolvedStrategy::Classical => (
+            uniform_bounds(rows, workers * CLASSICAL_OVERSUBSCRIPTION),
+            Vec::new(),
+        ),
+        // Balanced by construction: one chunk per worker, no
+        // oversubscription overhead.
+        ResolvedStrategy::LoadBalance => {
+            (load_balance_bounds(rows, row_ptrs, workers), Vec::new())
+        }
+        ResolvedStrategy::MergePath => (Vec::new(), merge_segments(rows, row_ptrs, workers)),
+    };
+    let work: Vec<ChunkWork> = if segments.is_empty() {
+        row_bounds
+            .windows(2)
+            .map(|w| {
+                let rows = (w[1] - w[0]) as f64;
+                let nnz =
+                    (row_ptrs[w[1]].to_usize() - row_ptrs[w[0]].to_usize()) as f64;
+                spmv_chunk_work(rows, nnz, value_bytes, I::BYTES)
+            })
+            .collect()
+    } else {
+        segments
+            .iter()
+            .map(|s| {
+                spmv_chunk_work(
+                    (s.row_last - s.row_first + 1) as f64,
+                    (s.nnz_end - s.nnz_start) as f64,
+                    value_bytes,
+                    I::BYTES,
+                )
+            })
+            .collect()
+    };
+    // Charge the inspector itself: one streaming pass over the row-pointer
+    // array plus a comparison per row.
+    exec.launch(&[ChunkWork::new(
+        ((rows + 1) * I::BYTES) as f64,
+        0.0,
+        rows as f64,
+    )]);
+    let plan = SpmvPlan {
+        requested,
+        resolved,
+        workers,
+        row_bounds,
+        segments,
+        work,
+        stats,
+    };
+    exec.loggers().log(&Event::PlanBuilt {
+        op: "csr",
+        strategy: resolved.name(),
+        chunks: plan.chunks() as u64,
+        rows: rows as u64,
+        nnz: stats.nnz as u64,
+    });
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Row pointers of a matrix with rows of the given lengths.
+    fn rp(lens: &[usize]) -> Vec<i32> {
+        let mut out = vec![0i32];
+        let mut acc = 0i32;
+        for &l in lens {
+            acc += l as i32;
+            out.push(acc);
+        }
+        out
+    }
+
+    #[test]
+    fn stats_capture_skew_and_empties() {
+        let rp = rp(&[1, 0, 7, 0, 2]);
+        let s = RowStats::inspect(5, &rp);
+        assert_eq!(s.rows, 5);
+        assert_eq!(s.nnz, 10);
+        assert_eq!(s.max_row_nnz, 7);
+        assert_eq!(s.empty_rows, 2);
+        assert_eq!(s.avg_row_nnz(), 2.0);
+        assert_eq!(s.skew(), 3.5);
+    }
+
+    #[test]
+    fn auto_resolution_is_deterministic_and_structural() {
+        // Uniform rows -> classical.
+        let uniform = RowStats::inspect(4, &rp(&[2, 2, 2, 2]));
+        assert_eq!(
+            resolve_strategy(SpmvStrategy::Auto, &uniform),
+            ResolvedStrategy::Classical
+        );
+        // Moderate skew (max 6 vs avg 1.5 = 4x) -> load balance.
+        let skewed = RowStats::inspect(8, &rp(&[6, 1, 1, 1, 1, 1, 1, 0]));
+        assert_eq!(
+            resolve_strategy(SpmvStrategy::Auto, &skewed),
+            ResolvedStrategy::LoadBalance
+        );
+        // One row holding nearly everything -> merge path.
+        let extreme = RowStats::inspect(65, &{
+            let mut lens = vec![1usize; 64];
+            lens.push(640);
+            rp(&lens)
+        });
+        assert_eq!(
+            resolve_strategy(SpmvStrategy::Auto, &extreme),
+            ResolvedStrategy::MergePath
+        );
+        // Explicit requests pass through untouched.
+        assert_eq!(
+            resolve_strategy(SpmvStrategy::MergePath, &uniform),
+            ResolvedStrategy::MergePath
+        );
+        // Resolution repeated on identical stats never flips.
+        for _ in 0..10 {
+            assert_eq!(
+                resolve_strategy(SpmvStrategy::Auto, &skewed),
+                ResolvedStrategy::LoadBalance
+            );
+        }
+    }
+
+    #[test]
+    fn merge_segments_partition_all_nnz() {
+        // One dense row inside light rows.
+        let mut lens = vec![2usize; 10];
+        lens[4] = 100;
+        let rp = rp(&lens);
+        for chunks in [1usize, 2, 3, 7, 16] {
+            let segs = merge_segments(10, &rp, chunks);
+            assert!(!segs.is_empty());
+            assert_eq!(segs[0].nnz_start, 0);
+            assert_eq!(segs.last().unwrap().nnz_end, 118);
+            for w in segs.windows(2) {
+                assert_eq!(w[0].nnz_end, w[1].nnz_start, "contiguous");
+            }
+            for s in &segs {
+                assert!(s.nnz_start < s.nnz_end, "nonempty: {s:?}");
+                assert!(s.row_first <= s.row_last);
+            }
+        }
+        // The dense row is actually split across several segments.
+        let segs = merge_segments(10, &rp, 8);
+        let touching = segs
+            .iter()
+            .filter(|s| s.row_first <= 4 && 4 <= s.row_last)
+            .count();
+        assert!(touching >= 3, "dense row split across segments: {segs:?}");
+    }
+
+    #[test]
+    fn merge_segments_handle_degenerate_shapes() {
+        // Empty matrix.
+        assert!(merge_segments(0, &[0i32], 8).is_empty());
+        // All rows empty.
+        assert!(merge_segments(3, &rp(&[0, 0, 0]), 8).is_empty());
+        // Single dense row.
+        let one_row = rp(&[33]);
+        let segs = merge_segments(1, &one_row, 4);
+        assert_eq!(segs[0].nnz_start, 0);
+        assert_eq!(segs.last().unwrap().nnz_end, 33);
+        assert!(segs.iter().all(|s| s.row_first == 0 && s.row_last == 0));
+        assert!(segs.len() > 1, "dense row split: {segs:?}");
+        // Column vector (N x 1, one nnz per row).
+        let col = rp(&[1, 1, 1, 1, 1]);
+        let segs = merge_segments(5, &col, 2);
+        assert_eq!(segs.iter().map(|s| s.nnz_end - s.nnz_start).sum::<usize>(), 5);
+        // More chunks than merge items.
+        let tiny = rp(&[1]);
+        let segs = merge_segments(1, &tiny, 100);
+        assert_eq!(segs.len(), 1);
+    }
+
+    #[test]
+    fn load_balance_bounds_dedup_and_cover() {
+        let mut lens = vec![1usize; 8];
+        lens[0] = 64;
+        let rp_arr = rp(&lens);
+        let bounds = load_balance_bounds(8, &rp_arr, 4);
+        assert_eq!(bounds[0], 0);
+        assert_eq!(*bounds.last().unwrap(), 8);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "{bounds:?}");
+    }
+
+    #[test]
+    fn cache_hits_and_invalidation_are_counted() {
+        let cache = PlanCache::new();
+        let build = || SpmvPlan {
+            requested: SpmvStrategy::Auto,
+            resolved: ResolvedStrategy::Classical,
+            workers: 2,
+            row_bounds: vec![0, 1],
+            segments: Vec::new(),
+            work: Vec::new(),
+            stats: RowStats::default(),
+        };
+        let p1 = cache.get_or_build(SpmvStrategy::Auto, 2, build);
+        let p2 = cache.get_or_build(SpmvStrategy::Auto, 2, build);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(cache.stats(), PlanCacheStats { builds: 1, hits: 1 });
+        // Different key -> rebuild.
+        let _ = cache.get_or_build(SpmvStrategy::Auto, 4, || SpmvPlan {
+            workers: 4,
+            ..build()
+        });
+        assert_eq!(cache.stats().builds, 2);
+        // Invalidation -> rebuild on next lookup.
+        cache.invalidate();
+        let _ = cache.get_or_build(SpmvStrategy::Auto, 4, || SpmvPlan {
+            workers: 4,
+            ..build()
+        });
+        assert_eq!(cache.stats(), PlanCacheStats { builds: 3, hits: 1 });
+        assert!(cache.stats().reuse_ratio() < 0.5);
+        // A cloned cache starts empty.
+        let fresh = cache.clone();
+        assert_eq!(fresh.stats(), PlanCacheStats::default());
+    }
+}

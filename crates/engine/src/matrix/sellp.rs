@@ -252,19 +252,50 @@ impl<V: Value, I: Index> LinOp<V> for Sellp<V, I> {
             let offset = self.slice_offsets[s];
             for r in lo_row..hi_row {
                 let lane = r - lo_row;
-                for c in 0..k {
-                    let mut acc = 0.0f64;
-                    for slot in 0..slice_len {
-                        let idx = offset + slot * self.slice_size + lane;
-                        acc += vals[idx].to_f64() * bv[ci[idx].to_usize() * k + c].to_f64();
+                if k == 1 {
+                    // Unrolled slot walk (stride = slice_size): four
+                    // independent accumulators hide the gather latency
+                    // chain; the scalar tail covers slice_len % 4.
+                    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+                    let mut slot = 0usize;
+                    while slot + 4 <= slice_len {
+                        let i0 = offset + slot * self.slice_size + lane;
+                        let (i1, i2) = (i0 + self.slice_size, i0 + 2 * self.slice_size);
+                        let i3 = i0 + 3 * self.slice_size;
+                        a0 += vals[i0].to_f64() * bv[ci[i0].to_usize()].to_f64();
+                        a1 += vals[i1].to_f64() * bv[ci[i1].to_usize()].to_f64();
+                        a2 += vals[i2].to_f64() * bv[ci[i2].to_usize()].to_f64();
+                        a3 += vals[i3].to_f64() * bv[ci[i3].to_usize()].to_f64();
+                        slot += 4;
                     }
-                    let prod = V::from_f64(acc);
-                    let out = &mut xs[(r - lo_row) * k + c];
+                    let mut tail = 0.0f64;
+                    while slot < slice_len {
+                        let idx = offset + slot * self.slice_size + lane;
+                        tail += vals[idx].to_f64() * bv[ci[idx].to_usize()].to_f64();
+                        slot += 1;
+                    }
+                    let prod = V::from_f64(((a0 + a1) + (a2 + a3)) + tail);
+                    let out = &mut xs[r - lo_row];
                     *out = if beta == V::zero() {
                         alpha * prod
                     } else {
                         alpha * prod + beta * *out
                     };
+                } else {
+                    for c in 0..k {
+                        let mut acc = 0.0f64;
+                        for slot in 0..slice_len {
+                            let idx = offset + slot * self.slice_size + lane;
+                            acc += vals[idx].to_f64() * bv[ci[idx].to_usize() * k + c].to_f64();
+                        }
+                        let prod = V::from_f64(acc);
+                        let out = &mut xs[(r - lo_row) * k + c];
+                        *out = if beta == V::zero() {
+                            alpha * prod
+                        } else {
+                            alpha * prod + beta * *out
+                        };
+                    }
                 }
             }
         });

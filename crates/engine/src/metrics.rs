@@ -420,6 +420,7 @@ pub struct MetricsRegistry {
     alloc_bytes: LatencyHistogram,
     solves: ShardedCounter,
     criterion_checks: ShardedCounter,
+    plan_builds: ShardedCounter,
     events: ShardedCounter,
     /// Anomalies reported by the flight recorder (or any other detector),
     /// keyed by anomaly kind.
@@ -469,6 +470,7 @@ impl MetricsRegistry {
             alloc_bytes: LatencyHistogram::new(),
             solves: ShardedCounter::new(),
             criterion_checks: ShardedCounter::new(),
+            plan_builds: ShardedCounter::new(),
             events: ShardedCounter::new(),
             anomalies: RwLock::new(BTreeMap::new()),
             trace: None,
@@ -583,6 +585,7 @@ impl MetricsRegistry {
             alloc_bytes: self.alloc_bytes.snapshot(),
             solves: self.solves.get(),
             criterion_checks: self.criterion_checks.get(),
+            plan_builds: self.plan_builds.get(),
             events: self.events.get(),
             anomalies,
             spans,
@@ -618,6 +621,7 @@ impl Logger for MetricsRegistry {
             }
             Event::CriterionChecked { .. } => self.criterion_checks.incr(),
             Event::SolveCompleted { .. } => self.solves.incr(),
+            Event::PlanBuilt { .. } => self.plan_builds.incr(),
             Event::AllocationComplete { bytes } => self.alloc_bytes.record(bytes as u64),
             Event::PoolDispatch { wall_ns, .. } => {
                 self.pool_dispatch_ns.record(wall_ns);
@@ -665,6 +669,8 @@ pub struct MetricsSnapshot {
     pub solves: u64,
     /// Stopping-criterion evaluations observed.
     pub criterion_checks: u64,
+    /// SpMV plan (inspector) builds observed.
+    pub plan_builds: u64,
     /// Total events observed.
     pub events: u64,
     /// Detected anomalies per kind, sorted by kind.
@@ -764,6 +770,13 @@ impl MetricsSnapshot {
             "counter",
         );
         let _ = writeln!(out, "gko_criterion_checks_total {}", self.criterion_checks);
+        prom_header(
+            &mut out,
+            "gko_plan_builds_total",
+            "SpMV execution-plan (inspector) builds.",
+            "counter",
+        );
+        let _ = writeln!(out, "gko_plan_builds_total {}", self.plan_builds);
         prom_header(
             &mut out,
             "gko_solver_iterations_total",

@@ -192,6 +192,141 @@ pub(crate) fn report_claim_violation(v: &ClaimViolation) -> ! {
 }
 
 // ---------------------------------------------------------------------------
+// Merge-path segment validation
+// ---------------------------------------------------------------------------
+
+/// The ways a merge-path segment list can fail to partition the nonzeros.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MergeViolation {
+    /// The segment list does not start at nonzero 0 or two neighbouring
+    /// segments are not contiguous — some nonzeros would be skipped or
+    /// accumulated twice.
+    Gap {
+        /// Segment whose `nnz_start` is wrong.
+        segment: usize,
+        /// Where the segment should have started.
+        expected: usize,
+        /// Where it actually starts.
+        found: usize,
+    },
+    /// A segment owns no nonzeros; the planner promises to drop these.
+    Empty {
+        /// The offending segment index.
+        segment: usize,
+    },
+    /// The last segment does not end exactly at the matrix's nonzero count.
+    Tail {
+        /// The matrix's total nonzero count.
+        expected: usize,
+        /// Where the last segment actually ends (0 if there are no
+        /// segments at all).
+        found: usize,
+    },
+    /// A segment's declared row span disagrees with the row pointers — the
+    /// executing kernel would route partial sums to the wrong rows.
+    RowSpan {
+        /// The offending segment index.
+        segment: usize,
+        /// Rows the row pointers assign to the segment's nonzero range.
+        expected: (usize, usize),
+        /// Rows the segment declares.
+        found: (usize, usize),
+    },
+}
+
+impl fmt::Display for MergeViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeViolation::Gap {
+                segment,
+                expected,
+                found,
+            } => write!(
+                f,
+                "segment {segment} starts at nonzero {found}, expected {expected} \
+                 — the nonzero range is not claimed exactly once"
+            ),
+            MergeViolation::Empty { segment } => {
+                write!(f, "segment {segment} owns no nonzeros")
+            }
+            MergeViolation::Tail { expected, found } => write!(
+                f,
+                "segments end at nonzero {found}, expected {expected} \
+                 — trailing nonzeros would never be accumulated"
+            ),
+            MergeViolation::RowSpan {
+                segment,
+                expected,
+                found,
+            } => write!(
+                f,
+                "segment {segment} declares rows {}..={} but its nonzeros lie in \
+                 rows {}..={}",
+                found.0, found.1, expected.0, expected.1
+            ),
+        }
+    }
+}
+
+/// Checks that a merge-path segment list is an exact, ordered partition of
+/// the matrix's nonzeros and that every declared row span matches the row
+/// pointers.
+///
+/// This is the structural guarantee the merge-path kernel's `unsafe`
+/// direct writes rest on: contiguous non-overlapping nonzero ranges imply
+/// every interior row belongs to exactly one segment.
+pub fn verify_merge_segments<I: crate::base::types::Index>(
+    row_ptrs: &[I],
+    segments: &[crate::matrix::plan::MergeSegment],
+) -> std::result::Result<(), MergeViolation> {
+    let rows = row_ptrs.len().saturating_sub(1);
+    let nnz = if rows == 0 {
+        0
+    } else {
+        row_ptrs[rows].to_usize()
+    };
+    let row_of = |e: usize| row_ptrs.partition_point(|&p| p.to_usize() <= e) - 1;
+    let mut cursor = 0usize;
+    for (i, seg) in segments.iter().enumerate() {
+        if seg.nnz_start != cursor {
+            return Err(MergeViolation::Gap {
+                segment: i,
+                expected: cursor,
+                found: seg.nnz_start,
+            });
+        }
+        if seg.nnz_end <= seg.nnz_start {
+            return Err(MergeViolation::Empty { segment: i });
+        }
+        let expected = (row_of(seg.nnz_start), row_of(seg.nnz_end - 1));
+        if expected != (seg.row_first, seg.row_last) {
+            return Err(MergeViolation::RowSpan {
+                segment: i,
+                expected,
+                found: (seg.row_first, seg.row_last),
+            });
+        }
+        cursor = seg.nnz_end;
+    }
+    if cursor != nnz {
+        return Err(MergeViolation::Tail {
+            expected: nnz,
+            found: cursor,
+        });
+    }
+    Ok(())
+}
+
+/// Aborts the apply on a merge-segment violation.
+///
+/// A broken segment partition means the merge-path kernel's direct interior
+/// writes could alias (or nonzeros could be dropped/double-counted), so the
+/// failure is a panic for the same reason [`report_claim_violation`] is.
+pub(crate) fn report_merge_violation(v: &MergeViolation) -> ! {
+    panic!("sanitizer: merge-path segment validator tripped: {v}");
+}
+
+// ---------------------------------------------------------------------------
 // Per-executor sanitizer state
 // ---------------------------------------------------------------------------
 
@@ -499,6 +634,104 @@ mod tests {
         });
         let err = result.expect_err("order dependence must be caught");
         assert!(matches!(err.schedule, Schedule::Permuted { .. }));
+    }
+
+    #[test]
+    fn merge_segments_from_planner_verify() {
+        use crate::matrix::plan::merge_segments;
+        // Skewed matrix: one row holds most of the nonzeros.
+        let mut rp = vec![0i32];
+        let mut acc = 0i32;
+        for r in 0..12 {
+            acc += if r == 5 { 200 } else { 2 };
+            rp.push(acc);
+        }
+        for chunks in [1usize, 2, 3, 7, 16] {
+            let segs = merge_segments(12, &rp, chunks);
+            assert_eq!(verify_merge_segments(&rp, &segs), Ok(()), "chunks={chunks}");
+        }
+        // Empty matrix: no segments, zero nonzeros, still a valid partition.
+        assert_eq!(verify_merge_segments(&[0i32], &[]), Ok(()));
+    }
+
+    #[test]
+    fn merge_violations_are_detected_and_render() {
+        use crate::matrix::plan::MergeSegment;
+        let rp = [0i32, 2, 4, 6];
+        let seg = |s: usize, e: usize, rf: usize, rl: usize| MergeSegment {
+            nnz_start: s,
+            nnz_end: e,
+            row_first: rf,
+            row_last: rl,
+        };
+        // Gap between segments.
+        let v = verify_merge_segments(&rp, &[seg(0, 2, 0, 0), seg(3, 6, 1, 2)]).unwrap_err();
+        assert_eq!(
+            v,
+            MergeViolation::Gap {
+                segment: 1,
+                expected: 2,
+                found: 3
+            }
+        );
+        assert!(v.to_string().contains("segment 1"));
+        // Overlap is also a Gap (cursor already past the claimed start).
+        assert!(matches!(
+            verify_merge_segments(&rp, &[seg(0, 3, 0, 1), seg(2, 6, 1, 2)]),
+            Err(MergeViolation::Gap { segment: 1, .. })
+        ));
+        // Empty segment.
+        assert!(matches!(
+            verify_merge_segments(&rp, &[seg(0, 0, 0, 0)]),
+            Err(MergeViolation::Empty { segment: 0 })
+        ));
+        // Missing tail.
+        let v = verify_merge_segments(&rp, &[seg(0, 4, 0, 1)]).unwrap_err();
+        assert_eq!(
+            v,
+            MergeViolation::Tail {
+                expected: 6,
+                found: 4
+            }
+        );
+        assert!(v.to_string().contains("expected 6"));
+        // Wrong row span.
+        let v = verify_merge_segments(&rp, &[seg(0, 6, 0, 1)]).unwrap_err();
+        assert_eq!(
+            v,
+            MergeViolation::RowSpan {
+                segment: 0,
+                expected: (0, 2),
+                found: (0, 1)
+            }
+        );
+        assert!(v.to_string().contains("rows 0..=2"));
+    }
+
+    #[test]
+    fn merge_scratch_kernel_is_schedule_independent() {
+        use crate::matrix::plan::merge_segments;
+        // The merge-path kernel's scratch accumulation — each segment sums
+        // its own nonzero range into its own scratch slot — must be
+        // schedule-independent by construction. Model it over the stress
+        // harness with a synthetic skewed matrix.
+        let mut rp = vec![0i32];
+        let mut acc = 0i32;
+        for r in 0..20 {
+            acc += if r == 7 { 111 } else { 3 };
+            rp.push(acc);
+        }
+        let nnz = acc as usize;
+        let vals: Vec<f64> = (0..nnz).map(|e| (e % 13) as f64 - 6.0).collect();
+        let segs = merge_segments(20, &rp, 8);
+        assert_eq!(verify_merge_segments(&rp, &segs), Ok(()));
+        let init = vec![0.0f64; segs.len()];
+        let bounds: Vec<usize> = (0..=segs.len()).collect();
+        let result = stress_schedules(&Executor::omp(4), &init, &bounds, 6, 99, |s, sc| {
+            let seg = segs[s];
+            sc[0] = vals[seg.nnz_start..seg.nnz_end].iter().sum();
+        });
+        assert_eq!(result, Ok(()));
     }
 
     #[test]

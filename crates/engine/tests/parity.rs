@@ -168,6 +168,18 @@ fn csr_load_balance_matches_reference() {
 }
 
 #[test]
+fn csr_merge_path_matches_reference() {
+    check_format_parity("csr_merge_path", |csr| {
+        csr.clone().with_strategy(SpmvStrategy::MergePath)
+    });
+}
+
+#[test]
+fn csr_auto_matches_reference() {
+    check_format_parity("csr_auto", |csr| csr.clone().with_strategy(SpmvStrategy::Auto));
+}
+
+#[test]
 fn coo_matches_reference() {
     check_format_parity("coo", Coo::from_csr);
 }

@@ -341,6 +341,71 @@ pub fn rmat(name: &str, scale: u32, edge_factor: usize, seed: u64) -> GeneratedM
     .finish()
 }
 
+/// Power-law row-length distribution plus one ultra-dense row (the extreme
+/// scale-free class merge-path SpMV targets): most rows hold a couple of
+/// entries, row lengths follow a heavy Pareto tail, and one designated row
+/// touches `dense_row_fraction` of all columns. Row-parallel strategies
+/// cannot split that row across workers, so it serializes one lane;
+/// merge-path divides it by nonzero count instead.
+pub fn power_law(
+    name: &str,
+    n: usize,
+    avg_row_nnz: usize,
+    dense_row_fraction: f64,
+    seed: u64,
+) -> GeneratedMatrix {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let dense_row = rng.below_usize(n);
+    let mut triplets = Vec::with_capacity(n * avg_row_nnz);
+    for i in 0..n {
+        if i == dense_row {
+            continue;
+        }
+        // Pareto-tailed row length: u^(-0.6) has finite mean but a heavy
+        // tail, so a few rows are 10-100x the typical length.
+        let u = rng.next_f64().max(1e-9);
+        let len = ((avg_row_nnz as f64) * 0.5 * u.powf(-0.6)).min(n as f64 / 8.0) as usize;
+        let mut cols = BTreeSet::new();
+        cols.insert(i);
+        while cols.len() < (1 + len).min(n) {
+            cols.insert(rng.below_usize(n));
+        }
+        let mut row_sum = 0.0;
+        for j in cols {
+            if j == i {
+                continue;
+            }
+            let v = rng.range_f64(-1.0, 1.0);
+            row_sum += v.abs();
+            triplets.push((i, j, v));
+        }
+        triplets.push((i, i, row_sum + 1.0));
+    }
+    // The ultra-dense row: an evenly spaced sweep across the columns keeps
+    // the generator O(nnz) while still touching the requested fraction.
+    let touches = ((n as f64 * dense_row_fraction) as usize).clamp(1, n);
+    let stride = (n / touches).max(1);
+    let mut row_sum = 0.0;
+    for j in (0..n).step_by(stride) {
+        if j == dense_row {
+            continue;
+        }
+        let v = rng.range_f64(-1.0, 1.0);
+        row_sum += v.abs();
+        triplets.push((dense_row, j, v));
+    }
+    triplets.push((dense_row, dense_row, row_sum + 1.0));
+    GeneratedMatrix {
+        name: name.to_owned(),
+        rows: n,
+        cols: n,
+        triplets,
+        symmetric: false,
+        spd: false,
+    }
+    .finish()
+}
+
 /// Banded matrix with partially filled band (generic structural class).
 pub fn banded(name: &str, n: usize, bandwidth: usize, fill: f64, seed: u64) -> GeneratedMatrix {
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
@@ -418,6 +483,7 @@ mod tests {
             delaunay("de", 12, 3),
             dense_rows("dr", 100, 20, 4),
             rmat("r", 8, 8, 5),
+            power_law("pl", 400, 3, 0.5, 7),
             banded("b", 150, 8, 0.5, 6),
             convection_diffusion("cd", 50, 0.3),
         ] {
@@ -503,6 +569,26 @@ mod tests {
             max > 8 * median,
             "power-law skew expected: max {max}, median {median}"
         );
+    }
+
+    #[test]
+    fn power_law_has_one_ultra_dense_row_and_heavy_tail() {
+        let m = power_law("pl", 4000, 3, 0.9, 31);
+        assert_eq!(m.triplets, power_law("pl", 4000, 3, 0.9, 31).triplets);
+        let mut row_len = vec![0usize; m.rows];
+        for &(r, _, _) in &m.triplets {
+            row_len[r] += 1;
+        }
+        let max_len = *row_len.iter().max().unwrap();
+        let avg = m.nnz() as f64 / m.rows as f64;
+        // The dense row alone forces skew past the merge-path threshold.
+        assert!(
+            max_len as f64 >= 32.0 * avg,
+            "ultra-dense row dominates: max {max_len}, avg {avg}"
+        );
+        assert!(max_len >= (0.9 * 4000.0 * 0.9) as usize, "row touches ~90% of columns");
+        // Every row has at least its diagonal.
+        assert!(row_len.iter().all(|&l| l > 0));
     }
 
     #[test]

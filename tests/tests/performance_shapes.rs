@@ -12,6 +12,10 @@ use std::sync::Arc;
 fn spmv_ns(exec: &Executor, op: &dyn LinOp<f32>, n: usize) -> u64 {
     let b = Dense::<f32>::vector(exec, n, 1.0);
     let mut x = Dense::zeros(exec, Dim2::new(n, 1));
+    // The figures model steady-state SpMV: warm up once so the one-time
+    // inspector (plan build) is outside the timed window, matching the
+    // benchmark harness.
+    op.apply(&b, &mut x).unwrap();
     let t0 = exec.timeline().snapshot();
     op.apply(&b, &mut x).unwrap();
     exec.timeline().snapshot().since(&t0).ns
