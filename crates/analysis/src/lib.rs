@@ -104,7 +104,14 @@ const FORBIDDEN_API_EXEMPT: &[&str] = &[
 /// Entry-point function names rule `instrumentation` inspects.
 /// `build_plan` is the SpMV inspector: it must carry its own `OpTimer` so
 /// profilers can attribute plan-building cost separately from apply time.
-const ENTRY_POINTS: &[&str] = &["apply", "apply_advanced", "spmv_into", "spmv", "build_plan"];
+const ENTRY_POINTS: &[&str] = &[
+    "apply",
+    "apply_advanced",
+    "apply_batch",
+    "spmv_into",
+    "spmv",
+    "build_plan",
+];
 
 /// Lints one source file. `rel_path` must be workspace-relative with `/`
 /// separators (it selects which path-scoped rules apply).
@@ -298,7 +305,7 @@ fn check_instrumentation(rel_path: &str, parsed: &LintSource, diags: &mut Vec<Di
             .any(|name| name != &f.name.as_str() && calls(&f.body, name));
         // Delegation to another object's `apply` family: that callee is
         // itself an entry point checked wherever it is defined.
-        let delegates_apply = [".apply(", ".apply_advanced(", ".spmv_into("]
+        let delegates_apply = [".apply(", ".apply_advanced(", ".apply_batch(", ".spmv_into("]
             .iter()
             .any(|p| f.body.contains(p));
         if !(directly || delegates_sibling || delegates_apply) {
@@ -691,6 +698,28 @@ mod tests {
                    pub fn apply(&self, b: &[f64], x: &mut [f64]) { self.inner.apply(b, x) }\n\
                    }\n";
         assert!(lint_file("crates/engine/src/matrix/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn uninstrumented_apply_batch_is_flagged() {
+        let src = "impl T {\n\
+                   pub fn apply_batch(&self, b: &B, x: &mut B) { self.kernel(b, x) }\n\
+                   fn kernel(&self, b: &B, x: &mut B) {}\n\
+                   }\n";
+        let diags = lint_file("crates/engine/src/matrix/x.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, RULE_INSTRUMENTATION);
+        assert!(diags[0].message.contains("apply_batch"));
+    }
+
+    #[test]
+    fn delegation_to_apply_batch_is_accepted() {
+        // A solver's apply_batch delegating to the operator's apply_batch is
+        // instrumented wherever that callee is defined.
+        let src = "impl T {\n\
+                   pub fn apply_batch(&self, b: &B, x: &mut B) { self.op.apply_batch(b, x) }\n\
+                   }\n";
+        assert!(lint_file("crates/engine/src/solver/x.rs", src).is_empty());
     }
 
     #[test]

@@ -116,6 +116,21 @@ fn flatten(doc: &Config) -> Vec<(String, &'static str, f64)> {
             }
         }
     }
+    // Batched-solver section (absent from baselines predating batched
+    // formats; comparisons are baseline-driven, so old files stay fully
+    // comparable).
+    if let Some(b) = doc.get("batched") {
+        let key = format!(
+            "batched/{}/{}",
+            str_field(b, "matrix"),
+            str_field(b, "executor"),
+        );
+        for metric in ["per_system_batched_ns", "per_system_loop_ns"] {
+            if let Some(v) = b.get(metric).and_then(Config::as_float) {
+                rows.push((key.clone(), metric, v));
+            }
+        }
+    }
     rows
 }
 
@@ -165,6 +180,15 @@ fn main() {
             .unwrap_or(0);
         if n > 0 {
             anomalous.push(format!("{} ({n} anomalies)", str_field(m, "executor")));
+        }
+    }
+    if let Some(b) = candidate_doc.get("batched") {
+        let n = b
+            .get("anomalies_total")
+            .and_then(Config::as_int)
+            .unwrap_or(0);
+        if n > 0 {
+            anomalous.push(format!("batched sweep ({n} anomalies)"));
         }
     }
 

@@ -24,10 +24,12 @@
 use gko::config::Config;
 use gko::linop::LinOp;
 use gko::log::{Profiler, ProfilerSummary};
-use gko::matrix::{Coo, Csr, Dense, Ell, Hybrid, Sellp, SpmvStrategy};
+use gko::matrix::{BatchCsr, BatchDense, Coo, Csr, Dense, Ell, Hybrid, Sellp, SpmvStrategy};
+use gko::solver::{BatchCg, Cg};
+use gko::stop::Criteria;
 use gko::{Dim2, Executor, MetricsSnapshot};
 use pygko_bench::{fmt, gflops, quick_mode, results_dir, Report};
-use pygko_matgen::generators::{poisson2d, power_law};
+use pygko_matgen::generators::{poisson2d, power_law, spd_tridiag_batch};
 use std::sync::Arc;
 
 struct Record {
@@ -262,6 +264,93 @@ fn main() {
         "plan reuse must not be slower than per-apply rebuilds"
     );
 
+    // Batched-solver headline: many independent small SPD systems sharing
+    // one sparsity, solved by batched CG (one pool drain per kernel across
+    // all systems) versus a loop of single-system CG solves. omp16 charges a
+    // virtual launch fee per kernel, so batching amortizes it across the
+    // whole batch and the per-system virtual time must drop.
+    let batch_systems = if quick_mode() { 200 } else { 1200 };
+    let batch_n = 32usize;
+    let bgen = spd_tridiag_batch("tridiag", batch_n, batch_systems, 7);
+    let bt_exec = Executor::omp(16);
+    bt_exec.enable_flight_recorder();
+    let bt_dim = Dim2::new(batch_n, batch_n);
+    let proto =
+        Csr::<f64, i32>::from_triplets(&bt_exec, bt_dim, &bgen.prototype.triplets).unwrap();
+    let batch = Arc::new(BatchCsr::from_shared(&proto, &bgen.system_values).unwrap());
+    let batch_criteria = Criteria::iterations_and_reduction(200, 1e-10);
+    let vec_dim = Dim2::new(batch_n, 1);
+    let mut batch_b = BatchDense::<f64>::zeros(&bt_exec, batch_systems, vec_dim);
+    let mut batch_x = BatchDense::<f64>::zeros(&bt_exec, batch_systems, vec_dim);
+    for s in 0..batch_systems {
+        batch_b.system_mut(s).copy_from_slice(&bgen.rhs[s]);
+    }
+    let batch_solver = BatchCg::new(batch.clone()).unwrap().with_criteria(batch_criteria);
+    let t0 = bt_exec.timeline().snapshot();
+    let batch_record = batch_solver.apply_batch(&batch_b, &mut batch_x).unwrap();
+    bt_exec.synchronize();
+    let batched_secs = bt_exec.timeline().snapshot().since(&t0).seconds();
+    assert!(
+        batch_record.all_converged(),
+        "batched CG should converge on every diagonally dominant system \
+         ({}/{batch_systems} converged)",
+        batch_record.converged_count()
+    );
+    let batch_plan = batch.plan_stats().expect("shared sparsity has a plan cache");
+    assert_eq!(
+        batch_plan.builds, 1,
+        "one shared plan should serve the whole solve: {batch_plan:?}"
+    );
+
+    // The same systems as independent single solves (matrices, vectors, and
+    // solvers built outside the timed region — only solve time is compared).
+    let singles: Vec<(Cg<f64>, Dense<f64>, Dense<f64>)> = (0..batch_systems)
+        .map(|s| {
+            let triplets: Vec<(usize, usize, f64)> = bgen
+                .prototype
+                .triplets
+                .iter()
+                .zip(&bgen.system_values[s])
+                .map(|(&(r, c, _), &v)| (r, c, v))
+                .collect();
+            let csr = Arc::new(Csr::<f64, i32>::from_triplets(&bt_exec, bt_dim, &triplets).unwrap());
+            let solver = Cg::new(csr).unwrap().with_criteria(batch_criteria);
+            let b = Dense::from_vec(&bt_exec, vec_dim, bgen.rhs[s].clone()).unwrap();
+            let x = Dense::zeros(&bt_exec, vec_dim);
+            (solver, b, x)
+        })
+        .collect();
+    let t0 = bt_exec.timeline().snapshot();
+    for (solver, b, x) in &mut singles.into_iter() {
+        let mut x = x;
+        solver.apply(&b, &mut x).expect("single cg");
+    }
+    bt_exec.synchronize();
+    let loop_secs = bt_exec.timeline().snapshot().since(&t0).seconds();
+
+    let batch_anomalies = bt_exec
+        .flight_recorder()
+        .map(|r| r.anomalies_total())
+        .unwrap_or(0);
+    let per_system_batched_ns = batched_secs / batch_systems as f64 * 1e9;
+    let per_system_loop_ns = loop_secs / batch_systems as f64 * 1e9;
+    println!(
+        "\nbatched CG ({batch_systems} systems of {batch_n} rows, omp16):\n  \
+         batched {:.2} us/system | loop-of-singles {:.2} us/system | speedup {:.2}x | \
+         plan builds {} hits {} | anomalies {batch_anomalies}",
+        per_system_batched_ns / 1e3,
+        per_system_loop_ns / 1e3,
+        loop_secs / batched_secs,
+        batch_plan.builds,
+        batch_plan.hits
+    );
+    assert!(
+        batched_secs < loop_secs,
+        "batched CG must beat the loop of single solves per system: \
+         batched {batched_secs}s vs loop {loop_secs}s"
+    );
+    assert_eq!(batch_anomalies, 0, "batched sweep tripped a flight-recorder detector");
+
     // Per-kernel profiler aggregates for the widest parallel executor.
     if let Some((name, _, summary)) = profiles.last() {
         println!("\nprofiler summary ({name}):");
@@ -373,11 +462,29 @@ fn main() {
         .with("plan_builds", reused_stats.builds as i64)
         .with("plan_hits", reused_stats.hits as i64)
         .with("reuse_ratio", reuse_ratio);
+    let batched_json = Config::map()
+        .with("matrix", "tridiag_batch")
+        .with("systems", batch_systems)
+        .with("rows_per_system", batch_n)
+        .with("executor", "omp16")
+        .with("threads", 16usize)
+        .with("batched_virtual_seconds", batched_secs)
+        .with("loop_virtual_seconds", loop_secs)
+        .with("per_system_batched_ns", per_system_batched_ns)
+        .with("per_system_loop_ns", per_system_loop_ns)
+        .with("speedup_vs_loop", loop_secs / batched_secs)
+        .with("converged", batch_record.converged_count())
+        .with("max_iterations", batch_record.max_iterations())
+        .with("plan_builds", batch_plan.builds as i64)
+        .with("plan_hits", batch_plan.hits as i64)
+        .with("reuse_ratio", batch_plan.reuse_ratio())
+        .with("anomalies_total", batch_anomalies as i64);
     let doc = Config::map()
         .with("records", record_json)
         .with("profiles", profile_json)
         .with("metrics", metrics_json)
-        .with("plan_ablation", plan_ablation_json);
+        .with("plan_ablation", plan_ablation_json)
+        .with("batched", batched_json);
 
     let dir = results_dir();
     std::fs::create_dir_all(&dir).expect("create results dir");

@@ -14,8 +14,11 @@ use crate::matrix::{MatrixFormat, MatrixImpl, SparseMatrix};
 use crate::preconditioner::{PrecondImpl, Preconditioner};
 use crate::tensor::{Tensor, TensorData};
 use gko::log::{ConvergenceLogger, Profiler, Record, SharedBuf, Stream};
-use gko::solver::{BiCgStab, Cg, Cgs, Direct, Gmres, LowerTrs, UpperTrs};
-use gko::stop::Criteria;
+use gko::matrix::{BatchCsr, BatchDense};
+use gko::solver::{
+    BatchBiCgStab, BatchCg, BatchSolveRecord, BiCgStab, Cg, Cgs, Direct, Gmres, LowerTrs, UpperTrs,
+};
+use gko::stop::{Criteria, StopReason};
 use gko::telemetry::{FlightRecorder, FlightReport};
 use gko::{LinOp, MetricsRegistry, MetricsSnapshot, Value};
 use pygko_half::Half;
@@ -54,6 +57,64 @@ pub struct Solver {
     /// System matrix descriptor (rows, cols, nnz, format name), kept so the
     /// flight recorder can annotate its reports.
     system: Option<(usize, usize, usize, &'static str)>,
+    /// Stopping criteria the solver was built with, reused verbatim for
+    /// batched solves so `apply` and `solve_batch` agree on convergence.
+    criteria: Criteria,
+    /// The system matrix handle, kept so [`Solver::solve_batch`] can build a
+    /// replicated [`BatchCsr`]. `None` for direct/triangular solvers, which
+    /// do not batch.
+    batch_source: Option<MatrixImpl>,
+}
+
+/// Per-system outcome of a [`Solver::solve_batch`] call — the batched
+/// counterpart of [`Logger`], one entry per right-hand-side column.
+#[derive(Clone, Debug, Default)]
+pub struct BatchSolveResult {
+    /// Completed iterations per system.
+    pub iterations: Vec<usize>,
+    /// Human-readable stop reason per system, matching
+    /// [`Logger::stop_reason`] wording.
+    pub stop_reasons: Vec<&'static str>,
+    /// Whether each system met a convergence criterion.
+    pub converged: Vec<bool>,
+    /// Initial residual norm per system.
+    pub initial_residuals: Vec<f64>,
+    /// Final residual norm per system.
+    pub final_residuals: Vec<f64>,
+}
+
+impl BatchSolveResult {
+    fn from_record(record: &BatchSolveRecord) -> Self {
+        let mut out = BatchSolveResult::default();
+        for o in &record.outcomes {
+            out.iterations.push(o.iterations);
+            out.initial_residuals.push(o.initial_residual);
+            out.final_residuals.push(o.final_residual);
+            out.converged.push(o.converged());
+            out.stop_reasons.push(match o.stop_reason {
+                StopReason::ResidualReduction => "converged (residual reduction)",
+                StopReason::AbsoluteResidual => "converged (absolute residual)",
+                StopReason::MaxIterations => "max iterations",
+                StopReason::Breakdown => "breakdown",
+            });
+        }
+        out
+    }
+
+    /// Number of systems in the batch.
+    pub fn num_systems(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// How many systems converged.
+    pub fn converged_count(&self) -> usize {
+        self.converged.iter().filter(|c| **c).count()
+    }
+
+    /// `true` when every system converged.
+    pub fn all_converged(&self) -> bool {
+        self.converged.iter().all(|c| *c)
+    }
 }
 
 impl Solver {
@@ -277,6 +338,137 @@ impl Solver {
             Ok(Logger::from_engine(&self.logger))
         })
     }
+
+    /// Solves `A x_s = b_s` for every column `s` of `b` in one batched solve:
+    /// `b` and `x` are `(n, S)` tensors holding one system per column, `x`
+    /// carries the initial guesses on entry and the solutions on exit.
+    ///
+    /// The system matrix is replicated into a shared-sparsity [`BatchCsr`],
+    /// so one SpMV plan and one pool drain per kernel serve all `S` systems.
+    /// Each system stops independently against the criteria this solver was
+    /// built with; per-system iteration counts and stop reasons come back in
+    /// the [`BatchSolveResult`]. Only `cg` and `bicgstab` batch, and the
+    /// system matrix must be CSR.
+    pub fn solve_batch(&self, b: &Tensor, x: &mut Tensor) -> PyResult<BatchSolveResult> {
+        let dev = self.device.clone();
+        binding_call(&dev, || {
+            if !matches!(self.name, "cg" | "bicgstab") {
+                return Err(PyGinkgoError::Value(format!(
+                    "batched solves support cg and bicgstab, not '{}'",
+                    self.name
+                )));
+            }
+            let source = self.batch_source.as_ref().ok_or_else(|| {
+                PyGinkgoError::Value(format!(
+                    "solver '{}' keeps no system matrix to batch over",
+                    self.name
+                ))
+            })?;
+            let (bn, bs) = b.shape();
+            let (xn, xs) = x.shape();
+            if bn != xn || bs != xs {
+                return Err(PyGinkgoError::Value(format!(
+                    "batched solve: b has shape ({bn}, {bs}) but x has shape ({xn}, {xs})"
+                )));
+            }
+            if bs == 0 {
+                return Err(PyGinkgoError::Value(
+                    "batched solve needs at least one right-hand-side column".into(),
+                ));
+            }
+            macro_rules! run {
+                ($m:expr, $bd:expr, $xd:expr) => {{
+                    let (m, bd, xd) = ($m, $bd, $xd);
+                    if self.sanitize_values {
+                        gko::sanitize::check_finite("rhs", bd.as_slice())
+                            .map_err(PyGinkgoError::from)?;
+                    }
+                    let batch =
+                        Arc::new(BatchCsr::replicated(m.as_ref(), bs).map_err(PyGinkgoError::from)?);
+                    let exec = batch.executor().clone();
+                    let dim = gko::Dim2::new(bn, 1);
+                    let mut bb = BatchDense::zeros(&exec, bs, dim);
+                    let mut xb = BatchDense::zeros(&exec, bs, dim);
+                    // Row-major (n, S) columns -> contiguous per-system vectors.
+                    let bsrc = bd.as_slice();
+                    let xsrc = xd.as_slice();
+                    for s in 0..bs {
+                        let bsys = bb.system_mut(s);
+                        for i in 0..bn {
+                            bsys[i] = bsrc[i * bs + s];
+                        }
+                        let xsys = xb.system_mut(s);
+                        for i in 0..bn {
+                            xsys[i] = xsrc[i * bs + s];
+                        }
+                    }
+                    let record = if self.name == "cg" {
+                        BatchCg::new(batch)
+                            .map_err(PyGinkgoError::from)?
+                            .with_criteria(self.criteria)
+                            .apply_batch(&bb, &mut xb)
+                            .map_err(PyGinkgoError::from)?
+                    } else {
+                        BatchBiCgStab::new(batch)
+                            .map_err(PyGinkgoError::from)?
+                            .with_criteria(self.criteria)
+                            .apply_batch(&bb, &mut xb)
+                            .map_err(PyGinkgoError::from)?
+                    };
+                    let xdst = xd.as_mut_slice();
+                    for s in 0..bs {
+                        let xsys = xb.system(s);
+                        for i in 0..bn {
+                            xdst[i * bs + s] = xsys[i];
+                        }
+                    }
+                    if self.sanitize_values {
+                        gko::sanitize::check_finite("solution", xd.as_slice())
+                            .map_err(PyGinkgoError::from)?;
+                    }
+                    Ok(BatchSolveResult::from_record(&record))
+                }};
+            }
+            match (source, b.data(), x.data_mut()) {
+                (MatrixImpl::CsrHalfI32(m), TensorData::Half(bd), TensorData::Half(xd)) => {
+                    run!(m, bd, xd)
+                }
+                (MatrixImpl::CsrHalfI64(m), TensorData::Half(bd), TensorData::Half(xd)) => {
+                    run!(m, bd, xd)
+                }
+                (MatrixImpl::CsrFloatI32(m), TensorData::Float(bd), TensorData::Float(xd)) => {
+                    run!(m, bd, xd)
+                }
+                (MatrixImpl::CsrFloatI64(m), TensorData::Float(bd), TensorData::Float(xd)) => {
+                    run!(m, bd, xd)
+                }
+                (MatrixImpl::CsrDoubleI32(m), TensorData::Double(bd), TensorData::Double(xd)) => {
+                    run!(m, bd, xd)
+                }
+                (MatrixImpl::CsrDoubleI64(m), TensorData::Double(bd), TensorData::Double(xd)) => {
+                    run!(m, bd, xd)
+                }
+                (
+                    MatrixImpl::CooHalfI32(_)
+                    | MatrixImpl::CooHalfI64(_)
+                    | MatrixImpl::CooFloatI32(_)
+                    | MatrixImpl::CooFloatI64(_)
+                    | MatrixImpl::CooDoubleI32(_)
+                    | MatrixImpl::CooDoubleI64(_),
+                    _,
+                    _,
+                ) => Err(PyGinkgoError::Type(
+                    "batched solves need a CSR system matrix (convert COO with convert(\"Csr\"))"
+                        .into(),
+                )),
+                _ => Err(PyGinkgoError::Type(format!(
+                    "dtype mismatch: solver vs operands ({}/{})",
+                    b.dtype(),
+                    x.dtype()
+                ))),
+            }
+        })
+    }
 }
 
 /// Which Krylov algorithm to build.
@@ -413,6 +605,8 @@ fn make_krylov(
             attached: AttachedLoggers::default(),
             sanitize_values: false,
             system: Some((rows, cols, matrix.nnz(), matrix.format().name())),
+            criteria,
+            batch_source: Some(matrix.inner.clone()),
         })
     })
 }
@@ -535,6 +729,8 @@ where
             attached: AttachedLoggers::default(),
             sanitize_values: false,
             system: Some((rows, cols, matrix.nnz(), matrix.format().name())),
+            criteria: Criteria::default(),
+            batch_source: None,
         })
     })
 }
@@ -866,5 +1062,148 @@ mod tests {
         let b = as_tensor_fill(&dev, (16, 1), "double", 1.0).unwrap();
         let mut x = as_tensor_fill(&dev, (16, 1), "double", 0.0).unwrap();
         assert!(solver.apply(&b, &mut x).unwrap().converged());
+    }
+
+    /// An (n, S) row-major tensor whose column `s` is `base + s` everywhere.
+    fn multi_rhs(dev: &Device, n: usize, s: usize, base: f64) -> Tensor {
+        let mut vals = vec![0.0; n * s];
+        for i in 0..n {
+            for c in 0..s {
+                vals[i * s + c] = base + c as f64;
+            }
+        }
+        crate::tensor::as_tensor(vals, dev, (n, s), "double").unwrap()
+    }
+
+    #[test]
+    fn solve_batch_matches_column_by_column_solves() {
+        let dev = device("reference").unwrap();
+        let n = 40;
+        let systems = 3;
+        let mtx = spd(&dev, n, "double");
+        let solver = cg(&dev, &mtx, None, 200, 1e-10).unwrap();
+
+        let b = multi_rhs(&dev, n, systems, 1.0);
+        let mut x = as_tensor_fill(&dev, (n, systems), "double", 0.0).unwrap();
+        let result = solver.solve_batch(&b, &mut x).unwrap();
+
+        assert_eq!(result.num_systems(), systems);
+        assert!(result.all_converged(), "reasons: {:?}", result.stop_reasons);
+        assert_eq!(result.converged_count(), systems);
+
+        // Each column must agree with an independent single-RHS solve.
+        for s in 0..systems {
+            let bs = as_tensor_fill(&dev, (n, 1), "double", 1.0 + s as f64).unwrap();
+            let mut xs = as_tensor_fill(&dev, (n, 1), "double", 0.0).unwrap();
+            let log = solver.apply(&bs, &mut xs).unwrap();
+            assert_eq!(result.iterations[s], log.iterations() as usize);
+            assert_eq!(result.stop_reasons[s], log.stop_reason());
+            for i in 0..n {
+                let batched = x.get(i, s).unwrap();
+                let single = xs.get(i, 0).unwrap();
+                assert!(
+                    (batched - single).abs() < 1e-9,
+                    "system {s} row {i}: {batched} vs {single}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_batch_bicgstab_converges() {
+        let dev = device("reference").unwrap();
+        let n = 32;
+        let mtx = spd(&dev, n, "double");
+        let solver = bicgstab(&dev, &mtx, None, 200, 1e-10).unwrap();
+        let b = multi_rhs(&dev, n, 4, 1.0);
+        let mut x = as_tensor_fill(&dev, (n, 4), "double", 0.0).unwrap();
+        let result = solver.solve_batch(&b, &mut x).unwrap();
+        assert!(result.all_converged(), "reasons: {:?}", result.stop_reasons);
+        assert!(result.iterations.iter().all(|&it| it > 0));
+    }
+
+    #[test]
+    fn solve_batch_reports_per_system_stop_reasons() {
+        let dev = device("reference").unwrap();
+        let n = 24;
+        let mtx = spd(&dev, n, "double");
+        let solver = cg(&dev, &mtx, None, 200, 1e-10).unwrap();
+
+        // Column 0: ordinary system. Column 1: zero RHS (converges at
+        // iteration 0). Column 2: poisoned with NaN (breaks down alone).
+        let mut vals = vec![0.0; n * 3];
+        for i in 0..n {
+            vals[i * 3] = 1.0;
+        }
+        vals[2] = f64::NAN;
+        let b = crate::tensor::as_tensor(vals, &dev, (n, 3), "double").unwrap();
+        let mut x = as_tensor_fill(&dev, (n, 3), "double", 0.0).unwrap();
+        let result = solver.solve_batch(&b, &mut x).unwrap();
+
+        assert!(result.converged[0]);
+        assert!(result.converged[1]);
+        assert_eq!(result.iterations[1], 0, "zero RHS converges immediately");
+        assert_eq!(result.stop_reasons[2], "breakdown");
+        assert!(!result.converged[2]);
+        // The healthy columns still carry finite solutions.
+        for i in 0..n {
+            assert!(x.get(i, 0).unwrap().is_finite());
+            assert_eq!(x.get(i, 1).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn solve_batch_rejects_unbatchable_inputs() {
+        let dev = device("reference").unwrap();
+        let mtx = spd(&dev, 16, "double");
+
+        // Unsupported algorithm.
+        let g = gmres(&dev, &mtx, None, 50, 10, 1e-8).unwrap();
+        let b = as_tensor_fill(&dev, (16, 2), "double", 1.0).unwrap();
+        let mut x = as_tensor_fill(&dev, (16, 2), "double", 0.0).unwrap();
+        assert!(matches!(
+            g.solve_batch(&b, &mut x),
+            Err(PyGinkgoError::Value(_))
+        ));
+
+        let solver = cg(&dev, &mtx, None, 50, 1e-8).unwrap();
+
+        // Shape mismatch between b and x.
+        let mut x_bad = as_tensor_fill(&dev, (16, 3), "double", 0.0).unwrap();
+        assert!(matches!(
+            solver.solve_batch(&b, &mut x_bad),
+            Err(PyGinkgoError::Value(_))
+        ));
+
+        // Dtype mismatch between solver and operands.
+        let bf = as_tensor_fill(&dev, (16, 2), "float", 1.0).unwrap();
+        let mut xf = as_tensor_fill(&dev, (16, 2), "float", 0.0).unwrap();
+        assert!(matches!(
+            solver.solve_batch(&bf, &mut xf),
+            Err(PyGinkgoError::Type(_))
+        ));
+
+        // COO system matrices don't batch.
+        let coo = spd(&dev, 16, "double").convert("Coo").unwrap();
+        let coo_solver = cg(&dev, &coo, None, 50, 1e-8).unwrap();
+        let mut x2 = as_tensor_fill(&dev, (16, 2), "double", 0.0).unwrap();
+        assert!(matches!(
+            coo_solver.solve_batch(&b, &mut x2),
+            Err(PyGinkgoError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn solve_batch_half_and_float_dtypes_run() {
+        let dev = device("reference").unwrap();
+        for dtype in ["float", "half"] {
+            let mtx = spd(&dev, 12, dtype);
+            let solver = cg(&dev, &mtx, None, 200, 1e-2).unwrap();
+            let b = as_tensor_fill(&dev, (12, 2), dtype, 1.0).unwrap();
+            let mut x = as_tensor_fill(&dev, (12, 2), dtype, 0.0).unwrap();
+            let result = solver.solve_batch(&b, &mut x).unwrap();
+            assert_eq!(result.num_systems(), 2);
+            assert!(result.all_converged(), "{dtype}: {:?}", result.stop_reasons);
+        }
     }
 }

@@ -91,6 +91,21 @@ pub enum Event {
         /// Why the iteration stopped.
         reason: StopReason,
     },
+    /// A batched solve finished: one event summarizes every system in the
+    /// batch (per-system outcomes travel in the returned
+    /// `BatchSolveRecord`, not in events).
+    BatchSolveCompleted {
+        /// Solver name, e.g. `"solver::BatchCg"`.
+        solver: &'static str,
+        /// Systems in the batch.
+        systems: usize,
+        /// Systems whose stop reason indicates convergence.
+        converged: usize,
+        /// Systems that stopped with `Breakdown`.
+        breakdowns: usize,
+        /// Iterations of the slowest system (the batch ran this many).
+        iterations: usize,
+    },
     /// The executor's memory accountant recorded an allocation.
     AllocationComplete {
         /// Allocation size in bytes.
@@ -163,6 +178,17 @@ impl fmt::Display for Event {
             } => write!(
                 f,
                 "{solver} solve completed: {iterations} iterations, residual {residual:.6e}, {reason:?}"
+            ),
+            Event::BatchSolveCompleted {
+                solver,
+                systems,
+                converged,
+                breakdowns,
+                iterations,
+            } => write!(
+                f,
+                "{solver} batch completed: {systems} systems ({converged} converged, \
+                 {breakdowns} breakdowns) in {iterations} iterations"
             ),
             Event::AllocationComplete { bytes } => write!(f, "allocated {bytes} bytes"),
             Event::PlanBuilt {
@@ -709,6 +735,9 @@ impl Logger for Profiler {
             Event::IterationComplete { .. } => s.counters.iterations += 1,
             Event::CriterionChecked { .. } => s.counters.criterion_checks += 1,
             Event::SolveCompleted { .. } => s.counters.solves += 1,
+            // A batch counts as one solve: the profiler tracks pool-level
+            // work, and a batch drains the pool like a single solve does.
+            Event::BatchSolveCompleted { .. } => s.counters.solves += 1,
             Event::PlanBuilt { .. } => s.counters.plan_builds += 1,
             Event::AllocationComplete { bytes } => {
                 s.counters.allocations += 1;

@@ -67,7 +67,7 @@ pub struct Csr<V: Value, I: Index = i32> {
 /// spans shorter than the unroll width. The final pairwise reduction is a
 /// fixed reassociation, so results stay deterministic for a given span.
 #[inline]
-fn dot_span<V: Value, I: Index>(vals: &[V], cols: &[I], bv: &[V]) -> f64 {
+pub(crate) fn dot_span<V: Value, I: Index>(vals: &[V], cols: &[I], bv: &[V]) -> f64 {
     let mut vv = vals.chunks_exact(4);
     let mut cc = cols.chunks_exact(4);
     let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);

@@ -7,6 +7,7 @@
 //! [`LinOp`](crate::linop::LinOp) (their `apply` is an SpMV) and conversions
 //! to/from [`Dense`](dense::Dense) and each other.
 
+pub mod batch;
 pub mod conv;
 pub mod coo;
 pub mod csr;
@@ -17,6 +18,7 @@ pub mod hybrid;
 pub mod plan;
 pub mod sellp;
 
+pub use batch::{BatchCsr, BatchDense};
 pub use conv::Conv2d;
 pub use coo::Coo;
 pub use csr::{Csr, SpmvStrategy};

@@ -621,6 +621,9 @@ impl Logger for MetricsRegistry {
             }
             Event::CriterionChecked { .. } => self.criterion_checks.incr(),
             Event::SolveCompleted { .. } => self.solves.incr(),
+            // A batch is one solve from the registry's point of view; the
+            // flight recorder carries the per-system breakdown.
+            Event::BatchSolveCompleted { .. } => self.solves.incr(),
             Event::PlanBuilt { .. } => self.plan_builds.incr(),
             Event::AllocationComplete { bytes } => self.alloc_bytes.record(bytes as u64),
             Event::PoolDispatch { wall_ns, .. } => {

@@ -45,6 +45,7 @@
 //! [`LowerTrs`]/[`UpperTrs`](triangular) sparse triangular solves, and a
 //! dense-LU [`Direct`](direct::Direct) solver.
 
+pub mod batch;
 pub mod bicgstab;
 pub mod cg;
 pub mod cgs;
@@ -56,6 +57,7 @@ pub mod minres;
 pub mod mixed;
 pub mod triangular;
 
+pub use batch::{BatchBiCgStab, BatchCg, BatchSolveRecord, BatchSystemOutcome};
 pub use bicgstab::BiCgStab;
 pub use cg::Cg;
 pub use cgs::Cgs;

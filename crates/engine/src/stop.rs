@@ -83,9 +83,28 @@ impl Criteria {
     /// A non-finite residual norm (NaN or ±Inf) stops the iteration
     /// immediately with [`StopReason::Breakdown`]: every float comparison
     /// against NaN is false, so without this check a diverging solve would
-    /// silently burn `max_iters` iterations before giving up.
+    /// silently burn `max_iters` iterations before giving up. The same guard
+    /// applies to `baseline`: a poisoned initial residual would make
+    /// `res_norm <= factor * baseline` silently false on every iteration, so
+    /// the reduction criterion could never fire and the solve would also
+    /// burn `max_iters`.
+    ///
+    /// # Zero-baseline contract
+    ///
+    /// When residual-based stopping is enabled (`reduction_factor` is set),
+    /// a `baseline` of exactly `0.0` means the initial guess already solves
+    /// the system exactly (e.g. `b = 0`, `x0 = 0`): the check converges at
+    /// once with [`StopReason::ResidualReduction`] while `res_norm` is still
+    /// zero, and reports [`StopReason::Breakdown`] if a later iteration
+    /// presents a nonzero residual against that zero baseline — an exact
+    /// solution the iteration subsequently left can only mean numerical
+    /// trouble, and no reduction of a nonzero residual ever satisfies
+    /// `res_norm <= factor * 0.0`. Iteration-only criteria
+    /// ([`Criteria::iterations`]) are unaffected and still run their fixed
+    /// iteration count; an `abs_tolerance`, checked first, also still fires
+    /// on its own terms.
     pub fn check(&self, iters_done: usize, res_norm: f64, baseline: f64) -> Option<StopReason> {
-        if !res_norm.is_finite() {
+        if !res_norm.is_finite() || !baseline.is_finite() {
             return Some(StopReason::Breakdown);
         }
         if let Some(tol) = self.abs_tolerance {
@@ -94,6 +113,13 @@ impl Criteria {
             }
         }
         if let Some(factor) = self.reduction_factor {
+            if baseline == 0.0 {
+                return Some(if res_norm == 0.0 {
+                    StopReason::ResidualReduction
+                } else {
+                    StopReason::Breakdown
+                });
+            }
             if res_norm <= factor * baseline {
                 return Some(StopReason::ResidualReduction);
             }
@@ -151,12 +177,46 @@ mod tests {
             for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
                 assert_eq!(c.check(1, bad, 1.0), Some(StopReason::Breakdown));
             }
-            // A non-finite baseline alone does not break the run down...
-            assert_eq!(c.check(1, 1.0, f64::NAN), None);
         }
         // ...and finite residuals still follow the normal rules.
         let c = Criteria::iterations_and_reduction(10, 1e-3);
         assert_eq!(c.check(1, 0.5, 1.0), None);
+    }
+
+    #[test]
+    fn non_finite_baseline_is_breakdown() {
+        // A poisoned baseline makes `res_norm <= factor * baseline` false
+        // forever (NaN) or trivially true (+Inf); either way the comparison
+        // is meaningless and the solve must stop now, mirroring the
+        // non-finite-res_norm guard above.
+        for c in [
+            Criteria::default(),
+            Criteria::iterations(1000),
+            Criteria::iterations_and_reduction(1000, 1e-8).with_abs_tolerance(1e-12),
+        ] {
+            for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                assert_eq!(c.check(1, 1.0, bad), Some(StopReason::Breakdown));
+                assert_eq!(c.check(0, 1.0, bad), Some(StopReason::Breakdown));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_baseline_converges_immediately_under_reduction() {
+        // b = 0, x0 = 0: the initial check sees res_norm == baseline == 0
+        // and must converge at once instead of relying on `0.0 <= 0.0`.
+        let c = Criteria::iterations_and_reduction(100, 1e-6);
+        assert_eq!(c.check(0, 0.0, 0.0), Some(StopReason::ResidualReduction));
+        // An exact initial solution the iteration then *left* is numerical
+        // trouble: no nonzero residual can ever be reduced below zero.
+        assert_eq!(c.check(3, 0.5, 0.0), Some(StopReason::Breakdown));
+        // An absolute tolerance still takes priority over the contract.
+        let c = c.with_abs_tolerance(1e-8);
+        assert_eq!(c.check(0, 0.0, 0.0), Some(StopReason::AbsoluteResidual));
+        // Iteration-only criteria keep their fixed-iteration semantics.
+        let c = Criteria::iterations(10);
+        assert_eq!(c.check(0, 0.0, 0.0), None);
+        assert_eq!(c.check(10, 0.0, 0.0), Some(StopReason::MaxIterations));
     }
 
     #[test]

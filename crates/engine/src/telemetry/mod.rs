@@ -25,8 +25,8 @@ pub mod recorder;
 
 pub use http::TelemetryServer;
 pub use recorder::{
-    Anomaly, DetectorConfig, FlightRecorder, FlightReport, KernelLatency, ResidualSummary,
-    SystemContext,
+    Anomaly, BatchOutcome, DetectorConfig, FlightRecorder, FlightReport, KernelLatency,
+    ResidualSummary, SystemContext,
 };
 
 use crate::config::{json, Config};

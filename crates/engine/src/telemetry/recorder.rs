@@ -222,6 +222,17 @@ pub struct KernelLatency {
     pub max_ns: u64,
 }
 
+/// Per-system outcome counts of one batched solve.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Systems in the batch.
+    pub systems: usize,
+    /// Systems whose stop reason indicates convergence.
+    pub converged: usize,
+    /// Systems that stopped with `Breakdown`.
+    pub breakdowns: usize,
+}
+
 /// Structured record of one completed solve.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct FlightReport {
@@ -245,6 +256,8 @@ pub struct FlightReport {
     pub lanes: Vec<LaneStats>,
     /// Anomalies the detectors flagged (empty for a healthy solve).
     pub anomalies: Vec<Anomaly>,
+    /// Per-system outcome counts when the solve was batched.
+    pub batch: Option<BatchOutcome>,
 }
 
 impl FlightReport {
@@ -275,6 +288,15 @@ impl FlightReport {
                     .with("cols", ctx.cols)
                     .with("nnz", ctx.nnz)
                     .with("format", ctx.format.as_str()),
+            );
+        }
+        if let Some(b) = &self.batch {
+            cfg = cfg.with(
+                "batch",
+                Config::map()
+                    .with("systems", b.systems)
+                    .with("converged", b.converged)
+                    .with("breakdowns", b.breakdowns),
             );
         }
         let kernels: Vec<Config> = self
@@ -601,6 +623,7 @@ impl FlightRecorder {
         solver: &'static str,
         iterations: usize,
         reason: StopReason,
+        batch: Option<BatchOutcome>,
     ) {
         let exec = self.exec.upgrade();
         let lanes_now = exec
@@ -699,6 +722,7 @@ impl FlightRecorder {
             kernels,
             lanes,
             anomalies,
+            batch,
         };
         let capacity = self.config.capacity.max(1);
         while state.reports.len() >= capacity {
@@ -733,7 +757,35 @@ impl Logger for FlightRecorder {
                 iterations,
                 reason,
                 ..
-            } => self.finalize(solver, iterations, reason),
+            } => self.finalize(solver, iterations, reason, None),
+            Event::BatchSolveCompleted {
+                solver,
+                systems,
+                converged,
+                breakdowns,
+                iterations,
+            } => {
+                // Synthesize a batch-level stop reason for the report: any
+                // breakdown taints the batch, full convergence is a
+                // converged batch, anything else stalled at the limit.
+                let reason = if breakdowns > 0 {
+                    StopReason::Breakdown
+                } else if converged == systems {
+                    StopReason::ResidualReduction
+                } else {
+                    StopReason::MaxIterations
+                };
+                self.finalize(
+                    solver,
+                    iterations,
+                    reason,
+                    Some(BatchOutcome {
+                        systems,
+                        converged,
+                        breakdowns,
+                    }),
+                );
+            }
             _ => {}
         }
     }

@@ -461,6 +461,58 @@ pub fn convection_diffusion(name: &str, n: usize, convection: f64) -> GeneratedM
     .finish()
 }
 
+/// A batch of matrices sharing one sparsity pattern: a prototype whose
+/// triplets fix the structure, plus one value vector per system aligned
+/// with the prototype's (sorted, unique) triplet order. This is the input
+/// shape of shared-sparsity batched formats — many small independent
+/// systems, one structure.
+#[derive(Clone, Debug)]
+pub struct GeneratedBatch {
+    /// Structure and the first system's values.
+    pub prototype: GeneratedMatrix,
+    /// Per-system nonzero values, each of length `prototype.nnz()`.
+    pub system_values: Vec<Vec<f64>>,
+    /// Per-system right-hand sides, each of length `prototype.rows`.
+    pub rhs: Vec<Vec<f64>>,
+}
+
+impl GeneratedBatch {
+    /// Number of systems in the batch.
+    pub fn num_systems(&self) -> usize {
+        self.system_values.len()
+    }
+}
+
+/// SPD tridiagonal batch (the batched-solver benchmark class): `num_systems`
+/// matrices sharing one tridiagonal structure. Each system keeps the `-1`
+/// off-diagonals and perturbs the diagonal by a seeded amount in
+/// `[0, 1.5)`, so every member stays strictly diagonally dominant — hence
+/// SPD and safe for batched CG. Right-hand sides are seeded in `[0.5, 1.5)`.
+pub fn spd_tridiag_batch(name: &str, n: usize, num_systems: usize, seed: u64) -> GeneratedBatch {
+    assert!(n > 0 && num_systems > 0, "batch needs rows and systems");
+    let mut prototype = convection_diffusion(name, n, 0.0);
+    // diag 4, off-diags -1: strictly diagonally dominant and symmetric.
+    prototype.spd = true;
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut system_values = Vec::with_capacity(num_systems);
+    let mut rhs = Vec::with_capacity(num_systems);
+    for _ in 0..num_systems {
+        let shift = rng.range_f64(0.0, 1.5);
+        let values = prototype
+            .triplets
+            .iter()
+            .map(|&(r, c, v)| if r == c { v + shift } else { v })
+            .collect();
+        system_values.push(values);
+        rhs.push((0..n).map(|_| rng.range_f64(0.5, 1.5)).collect());
+    }
+    GeneratedBatch {
+        prototype,
+        system_values,
+        rhs,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -603,5 +655,38 @@ mod tests {
         let frac = m.nnz() as f64 / 10_000.0;
         assert!((0.55..0.65).contains(&frac), "fill {frac}");
         assert!(m.triplets.iter().all(|&(r, c, v)| r == c && v > 0.0));
+    }
+
+    #[test]
+    fn spd_tridiag_batch_shares_structure_and_stays_dominant() {
+        let n = 64;
+        let batch = spd_tridiag_batch("b", n, 8, 7);
+        assert_eq!(batch.num_systems(), 8);
+        assert_eq!(batch.rhs.len(), 8);
+        let nnz = batch.prototype.nnz();
+        assert!(batch.prototype.spd);
+        for (s, vals) in batch.system_values.iter().enumerate() {
+            assert_eq!(vals.len(), nnz, "system {s} values align with structure");
+            // Strict diagonal dominance per row: diag >= 4, off-diags -1.
+            for (&(r, c, _), &v) in batch.prototype.triplets.iter().zip(vals) {
+                if r == c {
+                    assert!(v >= 4.0, "system {s} diagonal {v}");
+                } else {
+                    assert_eq!(v, -1.0);
+                }
+            }
+            assert_eq!(batch.rhs[s].len(), n);
+            assert!(batch.rhs[s].iter().all(|&b| (0.5..1.5).contains(&b)));
+        }
+        // Systems differ (diagonal perturbation is per-system) but are
+        // deterministic under the seed.
+        assert_ne!(batch.system_values[0], batch.system_values[1]);
+        let again = spd_tridiag_batch("b", n, 8, 7);
+        assert_eq!(batch.system_values, again.system_values);
+        assert_eq!(batch.rhs, again.rhs);
+        assert_ne!(
+            spd_tridiag_batch("b", n, 8, 8).system_values,
+            batch.system_values
+        );
     }
 }

@@ -17,4 +17,4 @@ pub mod collection;
 pub mod generators;
 
 pub use collection::{overhead_suite, representative, solver_suite, spmv_suite, MatrixInfo};
-pub use generators::GeneratedMatrix;
+pub use generators::{GeneratedBatch, GeneratedMatrix};

@@ -409,6 +409,66 @@ mod tests {
     }
 
     #[test]
+    fn symmetric_diagonal_is_not_duplicated() {
+        // Regression fixture: mirroring a symmetric file must not emit the
+        // diagonal twice — a duplicated (i, i) entry silently doubles the
+        // diagonal in assemblers that sum duplicates.
+        let doc = "%%MatrixMarket matrix coordinate real symmetric\n\
+                   3 3 4\n\
+                   1 1 4.0\n\
+                   2 2 5.0\n\
+                   3 3 6.0\n\
+                   3 1 -1.0\n";
+        let m = read_mtx(doc.as_bytes()).unwrap();
+        assert_eq!(
+            m.entries,
+            vec![
+                (0, 0, 4.0),
+                (0, 2, -1.0),
+                (1, 1, 5.0),
+                (2, 0, -1.0),
+                (2, 2, 6.0)
+            ]
+        );
+        for i in 0..3 {
+            let diag = m.entries.iter().filter(|&&(r, c, _)| r == i && c == i);
+            assert_eq!(diag.count(), 1, "diagonal {i} stored exactly once");
+        }
+    }
+
+    #[test]
+    fn skew_symmetric_diagonal_is_rejected() {
+        // Regression fixture: a skew-symmetric matrix has a zero diagonal by
+        // definition; a file storing (i, i) is malformed and must error, not
+        // emit (i, i, v) and (i, i, -v).
+        let doc = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                   2 2 2\n\
+                   1 1 1.0\n\
+                   2 1 3.0\n";
+        let err = read_mtx(doc.as_bytes()).unwrap_err();
+        assert!(
+            err.to_string().contains("strict lower triangle"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn pattern_symmetric_mirrors_without_doubling_diagonal() {
+        // Regression fixture: pattern + symmetric composes both expansions —
+        // implicit unit values and lower-triangle mirroring.
+        let doc = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                   3 3 3\n\
+                   1 1\n\
+                   2 1\n\
+                   3 3\n";
+        let m = read_mtx(doc.as_bytes()).unwrap();
+        assert_eq!(
+            m.entries,
+            vec![(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (2, 2, 1.0)]
+        );
+    }
+
+    #[test]
     fn pattern_entries_become_ones() {
         let doc = "%%MatrixMarket matrix coordinate pattern general\n\
                    2 2 2\n\
