@@ -82,6 +82,7 @@ const PANIC_FREE_DIRS: &[&str] = &[
     "crates/engine/src/solver/",
     "crates/engine/src/executor/",
     "crates/engine/src/telemetry/",
+    "crates/engine/src/trace.rs",
 ];
 
 /// Directories where `apply`/SpMV entry points must be instrumented.
@@ -89,14 +90,16 @@ const INSTRUMENTED_DIRS: &[&str] = &[
     "crates/engine/src/matrix/",
     "crates/engine/src/solver/",
     "crates/engine/src/telemetry/",
+    "crates/engine/src/trace.rs",
 ];
 
 /// Files/trees allowed to read wall clocks or touch `std::process`: the
-/// logging and metrics layers (whose whole job is real-time observation),
-/// the benchmark harness, and this crate's own gate binary.
+/// logging, metrics, and tracing layers (whose whole job is real-time
+/// observation), the benchmark harness, and this crate's own gate binary.
 const FORBIDDEN_API_EXEMPT: &[&str] = &[
     "crates/engine/src/log.rs",
     "crates/engine/src/metrics.rs",
+    "crates/engine/src/trace.rs",
     "crates/bench/",
     "crates/analysis/",
 ];

@@ -14,8 +14,11 @@
 //! and the same band is applied to each kernel's `virtual_p99_ns` in the
 //! per-executor metrics sections, and to the `plan_build_ns` /
 //! `apply_reused_ns` / `apply_rebuilt_ns` columns of the plan-reuse
-//! ablation when the baseline carries them. Missing records fail the gate,
-//! so a format or executor silently dropped from the sweep is caught too.
+//! ablation when the baseline carries them. The `trace_overhead` section's
+//! wall-clock rows (inert/armed ns-per-iteration and their ratio) compare
+//! under the separate `BENCH_GATE_TRACE_TOLERANCE` band. Missing records
+//! fail the gate, so a format or executor silently dropped from the sweep
+//! is caught too.
 //!
 //! The gate also refuses a candidate whose per-executor metrics carry a
 //! nonzero `anomalies_total` — a sweep that tripped a flight-recorder
@@ -27,6 +30,12 @@
 //! * `BENCH_GATE_TOLERANCE` — allowed slowdown ratio (default 1.25). The
 //!   virtual clock is deterministic, but the band leaves room for honest
 //!   cost-model retuning; raise it deliberately when the model changes.
+//! * `BENCH_GATE_TRACE_TOLERANCE` — allowed slowdown ratio for the
+//!   `trace_overhead` rows (default 5.0). Those are wall-clock figures —
+//!   the tracing overhead being measured is real work the virtual clock
+//!   cannot see — so the band is deliberately generous; its job is to
+//!   catch the inert tracing path growing from "one relaxed load" into
+//!   something structural, not scheduler noise.
 //! * `BENCH_GATE_INJECT` — multiplies every candidate timing, simulating a
 //!   uniform slowdown. `BENCH_GATE_INJECT=2.0` must make the gate fail —
 //!   `scripts/check_bench.sh` uses this as a self-test of the gate itself.
@@ -131,7 +140,37 @@ fn flatten(doc: &Config) -> Vec<(String, &'static str, f64)> {
             }
         }
     }
+    // Trace-overhead section (absent from baselines predating span tracing;
+    // comparisons are baseline-driven, so old files stay fully comparable).
+    // These rows are wall-clock and compare under the dedicated trace band.
+    if let Some(t) = doc.get("trace_overhead") {
+        let key = format!(
+            "trace_overhead/{}/{}/{}/{}",
+            str_field(t, "matrix"),
+            str_field(t, "format"),
+            str_field(t, "strategy"),
+            str_field(t, "executor"),
+        );
+        for metric in [
+            "inert_wall_ns_per_iter",
+            "armed_wall_ns_per_iter",
+            "armed_over_inert",
+        ] {
+            if let Some(v) = t.get(metric).and_then(Config::as_float) {
+                rows.push((key.clone(), metric, v));
+            }
+        }
+    }
     rows
+}
+
+/// True for rows compared under `BENCH_GATE_TRACE_TOLERANCE` instead of the
+/// main band: the wall-clock trace-overhead figures.
+fn is_trace_metric(metric: &str) -> bool {
+    matches!(
+        metric,
+        "inert_wall_ns_per_iter" | "armed_wall_ns_per_iter" | "armed_over_inert"
+    )
 }
 
 fn main() {
@@ -145,10 +184,11 @@ fn main() {
         .map(PathBuf::from)
         .unwrap_or_else(|| results_dir().join("BENCH_spmv.json"));
     let tolerance = env_f64("BENCH_GATE_TOLERANCE", 1.25);
+    let trace_tolerance = env_f64("BENCH_GATE_TRACE_TOLERANCE", 5.0);
     let inject = env_f64("BENCH_GATE_INJECT", 1.0);
 
     println!(
-        "bench_gate: {} vs {} (tolerance {tolerance}x{})",
+        "bench_gate: {} vs {} (tolerance {tolerance}x, trace {trace_tolerance}x{})",
         candidate_path.display(),
         baseline_path.display(),
         if inject != 1.0 {
@@ -215,10 +255,15 @@ fn main() {
         // only requires the candidate to stay zero-ish within tolerance of
         // nothing: treat any positive candidate against a zero baseline as
         // equal — those rows carry no timing signal.
+        let band = if is_trace_metric(c.metric) {
+            trace_tolerance
+        } else {
+            tolerance
+        };
         let ok = if c.baseline == 0.0 {
             true
         } else {
-            c.candidate <= tolerance * c.baseline
+            c.candidate <= band * c.baseline
         };
         if !ok {
             regressions.push(c);
@@ -236,8 +281,13 @@ fn main() {
         eprintln!("  MISSING   {m}");
     }
     for c in &regressions {
+        let band = if is_trace_metric(c.metric) {
+            trace_tolerance
+        } else {
+            tolerance
+        };
         eprintln!(
-            "  REGRESSED {} [{}]: {:.3e} -> {:.3e} ({:.2}x > {tolerance}x allowed)",
+            "  REGRESSED {} [{}]: {:.3e} -> {:.3e} ({:.2}x > {band}x allowed)",
             c.key,
             c.metric,
             c.baseline,

@@ -351,6 +351,88 @@ fn main() {
     );
     assert_eq!(batch_anomalies, 0, "batched sweep tripped a flight-recorder detector");
 
+    // Trace overhead: the same fixed-work CG solve (fixed iteration count,
+    // so the inert and armed runs do identical numerical work) on a fresh
+    // omp-16 executor with standard (classical) CSR, timed on the wall
+    // clock untraced and with tracing armed at sample_n=1. The inert figure
+    // is the cost of the tracing *code paths* while disarmed — one relaxed
+    // load per probe — and `bench_gate` holds it inside a tolerance band;
+    // the armed figure quantifies full span assembly. The retained trace's
+    // per-op span counts are asserted here: exactly one root, one iteration
+    // span per iteration, and one csr kernel span per iteration plus the
+    // prologue residual apply.
+    let tr_iters = 40usize;
+    let tr_exec = Executor::omp(16);
+    let tr_csr = Arc::new(
+        Csr::<f64, i32>::from_triplets(&tr_exec, dim, &gen.triplets)
+            .unwrap()
+            .with_strategy(SpmvStrategy::Classical),
+    );
+    let tr_b = Dense::<f64>::vector(&tr_exec, gen.cols, 1.0);
+    let tr_criteria = Criteria::iterations(tr_iters);
+    let timed_solve = |exec: &Executor| -> u64 {
+        let solver = Cg::new(tr_csr.clone()).unwrap().with_criteria(tr_criteria);
+        let mut x = Dense::<f64>::zeros(exec, Dim2::new(gen.rows, 1));
+        let t0 = std::time::Instant::now();
+        solver.apply(&tr_b, &mut x).expect("fixed-work cg");
+        t0.elapsed().as_nanos() as u64
+    };
+    let min_of = |exec: &Executor, runs: usize| -> u64 {
+        timed_solve(exec); // warm-up: pool spawn, plan build, page faults
+        (0..runs).map(|_| timed_solve(exec)).min().unwrap_or(0)
+    };
+    let inert_ns = min_of(&tr_exec, 3);
+    tr_exec.enable_flight_recorder_with(gko::DetectorConfig {
+        drift_min_solves: u64::MAX,
+        imbalance_ratio: f64::INFINITY,
+        ..gko::DetectorConfig::default()
+    });
+    tr_exec.enable_tracing_with(gko::TraceConfig {
+        sample_n: 1,
+        max_spans: 2_000_000,
+        ..gko::TraceConfig::default()
+    });
+    let armed_ns = min_of(&tr_exec, 3);
+    let trace = tr_exec.tracer().latest().expect("armed solve retained");
+    assert_eq!(trace.iterations as usize, tr_iters);
+    assert_eq!(trace.truncated_spans, 0);
+    let count = |pred: &dyn Fn(&gko::SpanRecord) -> bool| {
+        trace.spans.iter().filter(|s| pred(s)).count()
+    };
+    let span_counts = [
+        ("solve", count(&|s| s.kind == gko::SpanKind::Solve)),
+        ("iteration", count(&|s| s.kind == gko::SpanKind::Iteration)),
+        ("kernel_apply", count(&|s| s.kind == gko::SpanKind::Kernel)),
+        ("plan_build", count(&|s| s.kind == gko::SpanKind::PlanBuild)),
+        ("pool_dispatch", count(&|s| s.kind == gko::SpanKind::Dispatch)),
+        ("chunk", count(&|s| s.kind == gko::SpanKind::Chunk)),
+    ];
+    assert_eq!(span_counts[0].1, 1, "exactly one solve root");
+    assert_eq!(span_counts[1].1, tr_iters, "one span per iteration");
+    assert_eq!(
+        count(&|s| s.name == "csr"),
+        tr_iters + 1,
+        "one csr apply per iteration plus the prologue residual"
+    );
+    assert!(span_counts[4].1 > 0, "pooled solve opened dispatch spans");
+    assert!(span_counts[5].1 > 0, "dispatches recorded chunk spans");
+    tr_exec.disable_tracing();
+    let inert_ns_per_iter = inert_ns as f64 / tr_iters as f64;
+    let armed_ns_per_iter = armed_ns as f64 / tr_iters as f64;
+    let armed_over_inert = if inert_ns == 0 {
+        0.0
+    } else {
+        armed_ns as f64 / inert_ns as f64
+    };
+    println!(
+        "\ntrace overhead ({poisson_name}, csr/classical, omp16, {tr_iters} fixed iterations):\n  \
+         inert {:.1} us/iter | armed {:.1} us/iter | armed/inert {:.2}x | {} spans",
+        inert_ns_per_iter / 1e3,
+        armed_ns_per_iter / 1e3,
+        armed_over_inert,
+        trace.spans.len()
+    );
+
     // Per-kernel profiler aggregates for the widest parallel executor.
     if let Some((name, _, summary)) = profiles.last() {
         println!("\nprofiler summary ({name}):");
@@ -479,12 +561,30 @@ fn main() {
         .with("plan_hits", batch_plan.hits as i64)
         .with("reuse_ratio", batch_plan.reuse_ratio())
         .with("anomalies_total", batch_anomalies as i64);
+    // Wall-clock fields (unlike the virtual-time records) vary run to run;
+    // `bench_gate` compares them under its dedicated, generous trace
+    // tolerance. The span counts are exact for the fixed-work solve.
+    let span_counts_json = span_counts
+        .iter()
+        .fold(Config::map(), |c, (kind, n)| c.with(kind, *n as i64));
+    let trace_overhead_json = Config::map()
+        .with("matrix", poisson_name.as_str())
+        .with("format", "csr")
+        .with("strategy", "classical")
+        .with("executor", "omp16")
+        .with("iterations", tr_iters)
+        .with("inert_wall_ns_per_iter", inert_ns_per_iter)
+        .with("armed_wall_ns_per_iter", armed_ns_per_iter)
+        .with("armed_over_inert", armed_over_inert)
+        .with("spans_total", trace.spans.len() as i64)
+        .with("span_counts", span_counts_json);
     let doc = Config::map()
         .with("records", record_json)
         .with("profiles", profile_json)
         .with("metrics", metrics_json)
         .with("plan_ablation", plan_ablation_json)
-        .with("batched", batched_json);
+        .with("batched", batched_json)
+        .with("trace_overhead", trace_overhead_json);
 
     let dir = results_dir();
     std::fs::create_dir_all(&dir).expect("create results dir");

@@ -41,6 +41,9 @@ struct AttachedLoggers {
     profiler: Option<Arc<Profiler>>,
     metrics: Option<Arc<MetricsRegistry>>,
     flight: Option<Arc<FlightRecorder>>,
+    /// Span tracing armed via [`Solver::with_tracing`]; the tracer itself
+    /// lives on the device executor.
+    traced: bool,
 }
 
 /// A ready-to-apply solver bound to a device.
@@ -241,6 +244,44 @@ impl Solver {
     /// was never armed or no solve has completed yet.
     pub fn flight_report(&self) -> Option<FlightReport> {
         self.attached.flight.as_ref().and_then(|r| r.latest())
+    }
+
+    /// Arms causal span tracing on this solver's device executor — the
+    /// facade over [`gko::Executor::enable_tracing`].
+    ///
+    /// Every subsequent solve on the device assembles a hierarchical span
+    /// tree (`solve → iteration → kernel apply → plan build → pool dispatch
+    /// → per-lane chunk spans`) and offers it to a bounded, tail-sampled
+    /// trace store: solves flagged anomalous by the flight recorder (which
+    /// this call arms implicitly) or slower than the latency threshold are
+    /// always retained, healthy solves are head-sampled 1-in-`sample_n`.
+    /// `sample_n` must be at least 1 (`1` retains every solve). Read the
+    /// newest retained tree back with [`Solver::trace_report`], or drill
+    /// down live via `GET /traces` on [`gko::Executor::serve_telemetry`].
+    pub fn with_tracing(mut self, sample_n: u64) -> PyResult<Self> {
+        if sample_n == 0 {
+            return Err(PyGinkgoError::Value(
+                "tracing sample_n must be >= 1 (1 retains every solve)".to_string(),
+            ));
+        }
+        let recorder = self.device.executor().enable_flight_recorder();
+        if let Some((rows, cols, nnz, format)) = self.system {
+            recorder.annotate(rows, cols, nnz, format);
+        }
+        self.attached.flight = Some(recorder);
+        self.device.executor().enable_tracing(sample_n);
+        self.attached.traced = true;
+        Ok(self)
+    }
+
+    /// The most recent retained trace report (full span tree), or `None`
+    /// when tracing was never armed via [`Solver::with_tracing`] or every
+    /// completed solve so far was sampled out.
+    pub fn trace_report(&self) -> Option<gko::TraceReport> {
+        self.attached
+            .traced
+            .then(|| self.device.executor().tracer().latest())
+            .flatten()
     }
 
     /// Counters from the device executor's chunk-overlap detector: how many

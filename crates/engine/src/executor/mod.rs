@@ -21,6 +21,7 @@ use crate::log::{Event, Logger, LoggerRegistry};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::sanitize::{Sanitizer, SanitizerReport};
 use crate::telemetry::{DetectorConfig, FlightRecorder, TelemetryServer};
+use crate::trace::{TraceConfig, TraceHook, Tracer};
 use pool::{LaneStats, PoolStats, WorkerPool};
 use pygko_sim::{ChunkWork, DeviceKind, DeviceSpec, Timeline};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -81,6 +82,12 @@ struct Inner {
     /// Runtime sanitizer switch + counters, embedded (not boxed) so the
     /// disabled check in `parallel_chunks` is a single relaxed load.
     sanitizer: Sanitizer,
+    /// Causal span tracer, embedded like the sanitizer so the pool's
+    /// per-dispatch probe is a single relaxed load while no trace is live.
+    tracer: Tracer,
+    /// The event hook attached while tracing is enabled (kept, like
+    /// `metrics`, so disable/clear can detach it from the registry).
+    trace_hook: Mutex<Option<Arc<TraceHook>>>,
 }
 
 /// Non-owning executor handle held by the flight recorder, so the
@@ -118,6 +125,8 @@ impl Executor {
             metrics: Mutex::new(None),
             flight: Mutex::new(None),
             sanitizer: Sanitizer::new(),
+            tracer: Tracer::new(),
+            trace_hook: Mutex::new(None),
         }))
     }
 
@@ -304,8 +313,10 @@ impl Executor {
     }
 
     /// Detaches every logger from this executor (including a metrics
-    /// registry enabled via [`Executor::enable_metrics`] and a flight
-    /// recorder enabled via [`Executor::enable_flight_recorder`]).
+    /// registry enabled via [`Executor::enable_metrics`], a flight
+    /// recorder enabled via [`Executor::enable_flight_recorder`], and the
+    /// trace hook attached by [`Executor::enable_tracing`] — tracing is
+    /// disarmed, though already-retained traces stay readable).
     pub fn clear_loggers(&self) {
         self.0.loggers.clear();
         *self
@@ -316,6 +327,12 @@ impl Executor {
         *self
             .0
             .flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = None;
+        self.0.tracer.disarm();
+        *self
+            .0
+            .trace_hook
             .lock()
             .unwrap_or_else(PoisonError::into_inner) = None;
     }
@@ -417,6 +434,59 @@ impl Executor {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .clone()
+    }
+
+    /// Enables causal span tracing on this executor: every subsequent solve
+    /// (single or batched) acquires a trace id and assembles a span tree
+    /// down to the individual pool-lane chunks, tail-sampled into a bounded
+    /// store (healthy solves 1-in-`sample_n`; anomalous or slow solves
+    /// always retained — see [`crate::trace`]). Enables the flight recorder
+    /// too: its anomaly detectors drive the retention decision, and its
+    /// `/runs` reports link their `trace_id`. Idempotent; re-enabling
+    /// updates the sampling policy.
+    pub fn enable_tracing(&self, sample_n: u64) {
+        self.enable_tracing_with(TraceConfig {
+            sample_n,
+            ..TraceConfig::default()
+        });
+    }
+
+    /// Like [`Executor::enable_tracing`] with the full policy knobs.
+    pub fn enable_tracing_with(&self, config: TraceConfig) {
+        self.enable_flight_recorder();
+        {
+            let mut slot = self
+                .0
+                .trace_hook
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if slot.is_none() {
+                let hook = Arc::new(TraceHook::new(self.downgrade()));
+                self.0.loggers.add(hook.clone());
+                *slot = Some(hook);
+            }
+        }
+        self.0.tracer.arm(config);
+    }
+
+    /// Disarms tracing and detaches the event hook; an in-flight trace is
+    /// abandoned, retained traces stay readable via [`Executor::tracer`].
+    pub fn disable_tracing(&self) {
+        self.0.tracer.disarm();
+        let mut slot = self
+            .0
+            .trace_hook
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(hook) = slot.take() {
+            let as_logger: Arc<dyn Logger> = hook;
+            self.0.loggers.remove(&as_logger);
+        }
+    }
+
+    /// The executor's span tracer (switch, store, and counters).
+    pub fn tracer(&self) -> &Tracer {
+        &self.0.tracer
     }
 
     /// Starts the telemetry HTTP exporter for this executor on `addr`

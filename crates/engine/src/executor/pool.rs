@@ -53,9 +53,13 @@ pub struct PoolStats {
 impl PoolStats {
     /// Counter-wise difference `self - earlier`.
     ///
-    /// Saturating on every field: a snapshot taken before the pool was torn
-    /// down and re-armed (or two snapshots passed in the wrong order) yields
-    /// zeros instead of an underflow panic.
+    /// Saturating on every field, so two snapshots passed in the wrong
+    /// order clamp to zero instead of underflowing. Note what saturation
+    /// does *not* promise: a baseline taken before the pool was torn down
+    /// and re-armed diffs against stale counters — fields where the new
+    /// pool has already passed the old totals yield ordinary (mis-
+    /// attributed) differences, not zeros. Take a fresh baseline after
+    /// re-arming; `since` only guarantees the arithmetic never panics.
     pub fn since(&self, earlier: &PoolStats) -> PoolStats {
         PoolStats {
             dispatches: self.dispatches.saturating_sub(earlier.dispatches),
@@ -96,8 +100,11 @@ impl LaneStats {
 /// Lane-wise saturating difference of two per-lane snapshots.
 ///
 /// Tolerates length mismatches (a pool re-armed with a different lane count
-/// between the two snapshots): missing earlier lanes diff against zero, and
-/// lanes absent from `now` are dropped.
+/// between the two snapshots): lanes added after the baseline snapshot
+/// (present in `now`, missing from `earlier`) diff against a zero baseline
+/// and so can never underflow, while lanes absent from `now` are dropped
+/// (the result always has `now.len()` entries, positionally aligned with
+/// `now`). Per-lane fields saturate exactly like [`LaneStats::since`].
 pub fn lane_stats_since(now: &[LaneStats], earlier: &[LaneStats]) -> Vec<LaneStats> {
     now.iter()
         .enumerate()
@@ -179,6 +186,15 @@ thread_local! {
 /// dispatch). Used by the sanitizer to attribute chunk claims to lanes.
 pub(crate) fn current_lane() -> usize {
     POOL_LANE.with(|l| l.get())
+}
+
+/// The lane whose queue chunk `chunk` was seeded into: mirrors the queue
+/// bounds in [`WorkerPool::run`] (lane `w` owns `[w*chunks/lanes,
+/// (w+1)*chunks/lanes)`), i.e. the smallest `w` whose range still contains
+/// `chunk`. A chunk executed by any other lane was stolen; trace chunk
+/// spans use this to label steals.
+pub(crate) fn home_lane(chunk: usize, chunks: usize, lanes: usize) -> usize {
+    ((chunk + 1) * lanes).saturating_sub(1) / chunks.max(1)
 }
 
 /// A persistent, work-stealing pool of `threads` execution lanes.
@@ -554,18 +570,48 @@ where
         .sanitizer()
         .is_enabled()
         .then(|| crate::sanitize::ClaimLog::new(pool.threads()));
-    match &claims {
-        Some(log) => pool.run(chunks, &|i| {
+    // With a trace live on this thread, open a dispatch span and have every
+    // chunk closure record begin/end/steal against the propagated
+    // SpanContext into cache-padded per-lane buffers. Off path (no trace,
+    // or a trace owned by another thread): one relaxed load.
+    let dispatch = exec.tracer().begin_dispatch(pool.threads(), chunks);
+    let lanes_total = pool.threads();
+    match (&claims, &dispatch) {
+        (Some(log), Some(d)) => {
+            let ctx = d.context();
+            pool.run(chunks, &move |i| {
+                let lane = current_lane();
+                log.record(lane, i);
+                let t0 = d.now_ns();
+                body(i);
+                let steal = lane != home_lane(i, chunks, lanes_total);
+                d.record(ctx, i, lane, steal, t0, d.now_ns());
+            })
+        }
+        (Some(log), None) => pool.run(chunks, &|i| {
             log.record(current_lane(), i);
             body(i);
         }),
-        None => pool.run(chunks, &body),
+        (None, Some(d)) => {
+            let ctx = d.context();
+            pool.run(chunks, &move |i| {
+                let lane = current_lane();
+                let t0 = d.now_ns();
+                body(i);
+                let steal = lane != home_lane(i, chunks, lanes_total);
+                d.record(ctx, i, lane, steal, t0, d.now_ns());
+            })
+        }
+        (None, None) => pool.run(chunks, &body),
     }
     if let Some(log) = &claims {
         match log.verify(chunks) {
             Ok(summary) => exec.sanitizer().note_job(summary.pieces),
             Err(violation) => crate::sanitize::report_claim_violation(&violation),
         }
+    }
+    if let Some(d) = dispatch {
+        exec.tracer().end_dispatch(d);
     }
     if let Some(before) = stats_before {
         let delta = pool.stats().since(&before);
@@ -798,6 +844,67 @@ mod tests {
         assert_eq!(lane_d.len(), 3, "diff follows the newer snapshot");
         let zero = lane_stats_since(&[LaneStats::default()], &before_lanes);
         assert_eq!(zero, vec![LaneStats::default()]);
+    }
+
+    #[test]
+    fn lane_stats_since_lanes_added_after_baseline_diff_against_zero() {
+        // Regression: a baseline snapshot taken from a smaller pool must
+        // not underflow (or misalign) when the pool is re-armed with more
+        // lanes — new lanes diff against zero, pre-existing lane slots
+        // saturate per field, and the result stays positionally aligned
+        // with the newer snapshot.
+        let earlier = vec![LaneStats {
+            chunks: 10,
+            steals: 4,
+            busy_ns: 1_000,
+        }];
+        let now = vec![
+            LaneStats {
+                chunks: 5, // below the stale baseline: saturates, no wrap
+                steals: 9,
+                busy_ns: 500,
+            },
+            LaneStats {
+                chunks: 7,
+                steals: 2,
+                busy_ns: 300,
+            },
+            LaneStats {
+                chunks: 9,
+                steals: 0,
+                busy_ns: 800,
+            },
+        ];
+        let d = lane_stats_since(&now, &earlier);
+        assert_eq!(d.len(), now.len(), "aligned with the newer snapshot");
+        assert_eq!(d[0], LaneStats { chunks: 0, steals: 5, busy_ns: 0 });
+        // Lanes added after the baseline: full current values, no underflow.
+        assert_eq!(d[1], now[1]);
+        assert_eq!(d[2], now[2]);
+        // Shrunk pool: extra baseline lanes are dropped, not diffed.
+        let shrunk = lane_stats_since(&now[..1], &now);
+        assert_eq!(shrunk, vec![LaneStats::default()]);
+    }
+
+    #[test]
+    fn home_lane_matches_queue_seeding() {
+        // `home_lane` must agree with the queue bounds `run` seeds
+        // (lane w owns [w*chunks/lanes, (w+1)*chunks/lanes)).
+        for &lanes in &[1usize, 2, 3, 4, 7, 16] {
+            for &chunks in &[2usize, 3, 5, 16, 37, 64] {
+                for w in 0..lanes {
+                    let start = w * chunks / lanes;
+                    let end = (w + 1) * chunks / lanes;
+                    for c in start..end {
+                        assert_eq!(
+                            home_lane(c, chunks, lanes),
+                            w,
+                            "chunk {c} of {chunks} on {lanes} lanes"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

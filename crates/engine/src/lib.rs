@@ -28,6 +28,9 @@
 //! * **The runtime sanitizer** ([`sanitize`]): chunk-overlap detection for
 //!   the worker pool, structural `validate()` for every matrix format, and
 //!   a seeded schedule-perturbation stress harness.
+//! * **Causal span tracing** ([`trace`]): per-solve trace trees from the
+//!   solve root down to individual pool-lane chunks, tail-sampled into a
+//!   bounded store and served by the telemetry plane (`/traces`).
 //! * **The config solver** ([`config`], paper §5): a generic entry point that
 //!   builds arbitrary solver/preconditioner pipelines from a JSON-style
 //!   configuration tree, with a from-scratch JSON parser/serializer.
@@ -47,6 +50,7 @@ pub mod sanitize;
 pub mod solver;
 pub mod stop;
 pub mod telemetry;
+pub mod trace;
 
 pub use base::array::Array;
 pub use base::dim::Dim2;
@@ -59,4 +63,7 @@ pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use sanitize::{ClaimLog, ClaimViolation, Sanitizer, SanitizerReport};
 pub use telemetry::{
     Anomaly, DetectorConfig, FlightRecorder, FlightReport, TelemetryServer,
+};
+pub use trace::{
+    SpanContext, SpanId, SpanKind, SpanRecord, TraceConfig, TraceId, TraceReport, Tracer,
 };

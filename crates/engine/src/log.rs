@@ -21,6 +21,12 @@
 //! Emission is designed to be free when nobody listens: every instrumented
 //! site performs a single relaxed atomic load and branches away when the
 //! relevant registry is empty.
+//!
+//! This event stream is also the input to the higher observability layers:
+//! [`crate::metrics`] aggregates it into histograms, the
+//! [`crate::telemetry`] flight recorder folds it into per-solve reports,
+//! and the [`crate::trace`] tracer reassembles the paired
+//! started/completed events into causal span trees.
 
 use crate::executor::Executor;
 use crate::stop::StopReason;

@@ -861,39 +861,47 @@ impl MetricsSnapshot {
     /// JSON document with balanced `"B"`/`"E"` event pairs and one named
     /// lane (`tid`) per emitting thread.
     pub fn to_chrome_trace(&self) -> String {
-        let mut out = String::from("{\"traceEvents\":[\n");
-        out.push_str(
-            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
-             \"args\":{\"name\":\"gko\"}}",
-        );
-        for (lane, name) in &self.lanes {
-            let _ = write!(
-                out,
-                ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\
-                 \"args\":{{\"name\":\"{}\"}}}}",
-                json_escape(name)
-            );
-        }
-        // Emit B/E pairs sorted by begin time so viewers reconstruct the
-        // nesting; each completed span contributes exactly one pair.
-        let mut spans: Vec<&TraceSpan> = self.spans.iter().collect();
-        spans.sort_by_key(|s| (s.start_ns, std::cmp::Reverse(s.dur_ns)));
-        for s in spans {
-            let begin_us = s.start_ns as f64 / 1000.0;
-            let end_us = (s.start_ns + s.dur_ns) as f64 / 1000.0;
-            let name = json_escape(s.name);
-            let _ = write!(
-                out,
-                ",\n{{\"name\":\"{name}\",\"ph\":\"B\",\"ts\":{begin_us:.3},\
-                 \"pid\":1,\"tid\":{lane}}},\n\
-                 {{\"name\":\"{name}\",\"ph\":\"E\",\"ts\":{end_us:.3},\
-                 \"pid\":1,\"tid\":{lane}}}",
-                lane = s.lane
-            );
-        }
-        out.push_str("\n]}\n");
-        out
+        chrome_trace_json(&self.lanes, &self.spans)
     }
+}
+
+/// Shared Chrome-trace emitter: renders named lanes plus balanced `"B"`/`"E"`
+/// event pairs. Used by [`MetricsSnapshot::to_chrome_trace`] and by the
+/// span tracer's per-trace export (`crate::trace`), so both produce the
+/// same viewer-compatible document shape.
+pub(crate) fn chrome_trace_json(lanes: &[(u32, String)], spans: &[TraceSpan]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"gko\"}}",
+    );
+    for (lane, name) in lanes {
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        );
+    }
+    // Emit B/E pairs sorted by begin time so viewers reconstruct the
+    // nesting; each completed span contributes exactly one pair.
+    let mut sorted: Vec<&TraceSpan> = spans.iter().collect();
+    sorted.sort_by_key(|s| (s.start_ns, std::cmp::Reverse(s.dur_ns)));
+    for s in sorted {
+        let begin_us = s.start_ns as f64 / 1000.0;
+        let end_us = (s.start_ns + s.dur_ns) as f64 / 1000.0;
+        let name = json_escape(s.name);
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"{name}\",\"ph\":\"B\",\"ts\":{begin_us:.3},\
+             \"pid\":1,\"tid\":{lane}}},\n\
+             {{\"name\":\"{name}\",\"ph\":\"E\",\"ts\":{end_us:.3},\
+             \"pid\":1,\"tid\":{lane}}}",
+            lane = s.lane
+        );
+    }
+    out.push_str("\n]}\n");
+    out
 }
 
 #[cfg(test)]

@@ -1,13 +1,21 @@
 //! Std-only HTTP exporter for the telemetry plane.
 //!
 //! A [`TelemetryServer`] owns a `std::net::TcpListener` drained by a
-//! blocking accept loop on a named thread (`gko-telemetry`). Three
+//! blocking accept loop on a named thread (`gko-telemetry`). Five
 //! endpoints, all `GET`, all `Connection: close`:
 //!
 //! * `/metrics` — Prometheus text exposition (registry snapshot + per-lane
-//!   pool utilization + flight-recorder gauges);
-//! * `/healthz` — executor/pool liveness and sanitizer arm state, as JSON;
-//! * `/runs` — the flight recorder's retained reports, as JSON.
+//!   pool utilization + flight-recorder and tracer gauges);
+//! * `/healthz` — executor/pool liveness and sanitizer/tracer arm state,
+//!   as JSON;
+//! * `/runs` — the flight recorder's retained reports, newest first, as
+//!   JSON. `?limit=N` caps the count (default
+//!   [`DEFAULT_RUNS_LIMIT`](super::DEFAULT_RUNS_LIMIT)); reports carry a
+//!   `trace_id` linking to their span tree when tracing was armed;
+//! * `/traces` — index of the tail-sampled trace store (trace_id,
+//!   annotation, duration, anomaly kinds, retention reason);
+//! * `/traces/<id>` — one full span tree as JSON, or as a Chrome-trace
+//!   document with `?format=chrome`.
 //!
 //! Requests are served sequentially — every response is a cheap immutable
 //! snapshot, so there is nothing to win by handing connections to a pool —
@@ -114,12 +122,26 @@ fn handle_connection(mut stream: TcpStream, exec: &Executor) -> std::io::Result<
     let head = match read_request_head(&mut stream) {
         Some(head) => head,
         None => {
-            return respond(
+            let res = respond(
                 &mut stream,
                 "400 Bad Request",
                 "application/json",
                 "{\"error\": \"malformed request\"}\n",
-            )
+            );
+            // An oversized request may still be streaming in: drain it
+            // (bounded) before closing, otherwise the kernel turns the
+            // close into an RST that can discard the 400 response before
+            // the client reads it.
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+            let mut sink = [0u8; 1024];
+            let mut drained = 0usize;
+            while drained < (1 << 20) {
+                match stream.read(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => drained += n,
+                }
+            }
+            return res;
         }
     };
     let mut parts = head.split_whitespace();
@@ -135,6 +157,7 @@ fn handle_connection(mut stream: TcpStream, exec: &Executor) -> std::io::Result<
             "{\"error\": \"only GET is supported\"}\n",
         );
     }
+    let query = target.split_once('?').map(|(_, q)| q).unwrap_or("");
     match path {
         "/metrics" => respond(
             &mut stream,
@@ -149,19 +172,71 @@ fn handle_connection(mut stream: TcpStream, exec: &Executor) -> std::io::Result<
             &super::health_json(exec),
         ),
         "/runs" => {
+            let limit = query_param(query, "limit")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(super::DEFAULT_RUNS_LIMIT);
             let body = exec
                 .flight_recorder()
-                .map(|r| r.runs_json())
-                .unwrap_or_else(|| "{\"reports\": []}\n".to_string());
+                .map(|r| r.runs_json(limit))
+                .unwrap_or_else(|| {
+                    "{\"reports\": [], \"total\": 0, \"returned\": 0}\n".to_string()
+                });
             respond(&mut stream, "200 OK", "application/json", &body)
         }
-        _ => respond(
+        "/traces" => respond(
             &mut stream,
+            "200 OK",
+            "application/json",
+            &exec.tracer().index_json(),
+        ),
+        _ => match path.strip_prefix("/traces/") {
+            Some(id) => serve_trace(&mut stream, exec, id, query),
+            None => respond(
+                &mut stream,
+                "404 Not Found",
+                "application/json",
+                "{\"error\": \"unknown path; try /metrics, /healthz, /runs, /traces\"}\n",
+            ),
+        },
+    }
+}
+
+/// `GET /traces/<id>`: the full span tree of one retained trace, as JSON or
+/// (with `?format=chrome`) as a Chrome-trace document.
+fn serve_trace(
+    stream: &mut TcpStream,
+    exec: &Executor,
+    id: &str,
+    query: &str,
+) -> std::io::Result<()> {
+    let report = id.parse::<u64>().ok().and_then(|id| exec.tracer().report(id));
+    let Some(report) = report else {
+        return respond(
+            stream,
             "404 Not Found",
             "application/json",
-            "{\"error\": \"unknown path; try /metrics, /healthz, /runs\"}\n",
-        ),
+            "{\"error\": \"unknown trace id (dropped by sampling, evicted, or never assigned)\"}\n",
+        );
+    };
+    if query_param(query, "format") == Some("chrome") {
+        return respond(
+            stream,
+            "200 OK",
+            "application/json",
+            &report.to_chrome_trace(),
+        );
     }
+    let body = crate::config::json::to_string_pretty(&report.to_config());
+    respond(stream, "200 OK", "application/json", &body)
+}
+
+/// Extracts `name`'s value from a raw query string (`a=1&b=2`).
+fn query_param<'q>(query: &'q str, name: &str) -> Option<&'q str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == name)
+        .map(|(_, v)| v)
 }
 
 /// Reads until the end of the request head (`\r\n\r\n`) or the size cap and
@@ -177,6 +252,12 @@ fn read_request_head(stream: &mut TcpStream) -> Option<String> {
             Ok(0) | Err(_) => break,
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
         }
+    }
+    // A head that hit the size cap without ever terminating is rejected
+    // outright — a truncated request line must not be served as if it were
+    // a (shorter) valid one.
+    if !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        return None;
     }
     let head = String::from_utf8_lossy(&buf);
     let line = head.lines().next()?.trim().to_string();

@@ -7,8 +7,10 @@
 //!
 //! * [`TelemetryServer`] (see [`crate::Executor::serve_telemetry`]) — a
 //!   blocking-accept HTTP exporter serving `GET /metrics` (Prometheus text),
-//!   `GET /healthz` (liveness + sanitizer arm state, JSON), and `GET /runs`
-//!   (recent flight-recorder reports, JSON);
+//!   `GET /healthz` (liveness + sanitizer arm state, JSON), `GET /runs`
+//!   (recent flight-recorder reports, JSON), and `GET /traces` +
+//!   `GET /traces/<id>` (the tracer's tail-sampled span trees, JSON or
+//!   Chrome-trace);
 //! * [`FlightRecorder`] (see [`crate::Executor::enable_flight_recorder`]) —
 //!   a bounded ring of per-solve [`FlightReport`]s screened by stagnation /
 //!   divergence, lane-imbalance, and latency-drift detectors
@@ -26,7 +28,7 @@ pub mod recorder;
 pub use http::TelemetryServer;
 pub use recorder::{
     Anomaly, BatchOutcome, DetectorConfig, FlightRecorder, FlightReport, KernelLatency,
-    ResidualSummary, SystemContext,
+    ResidualSummary, SystemContext, DEFAULT_RUNS_LIMIT,
 };
 
 use crate::config::{json, Config};
@@ -80,6 +82,31 @@ pub fn render_prometheus(exec: &Executor) -> String {
         let _ = writeln!(out, "# TYPE gko_flight_reports gauge");
         let _ = writeln!(out, "gko_flight_reports {}", recorder.reports_len());
     }
+    let tracer = exec.tracer();
+    if tracer.is_armed() {
+        let _ = writeln!(
+            out,
+            "# HELP gko_trace_retained Span trees currently retained in the trace store."
+        );
+        let _ = writeln!(out, "# TYPE gko_trace_retained gauge");
+        let _ = writeln!(out, "gko_trace_retained {}", tracer.retained());
+        let _ = writeln!(
+            out,
+            "# HELP gko_trace_drops_total Traces discarded by tail-based sampling."
+        );
+        let _ = writeln!(out, "# TYPE gko_trace_drops_total counter");
+        let _ = writeln!(out, "gko_trace_drops_total {}", tracer.drops());
+        let _ = writeln!(
+            out,
+            "# HELP gko_trace_truncated_spans_total Spans dropped because a trace hit its span cap."
+        );
+        let _ = writeln!(out, "# TYPE gko_trace_truncated_spans_total counter");
+        let _ = writeln!(
+            out,
+            "gko_trace_truncated_spans_total {}",
+            tracer.truncated_spans()
+        );
+    }
     out
 }
 
@@ -131,6 +158,13 @@ pub fn health_json(exec: &Executor) -> String {
                     "anomalies",
                     recorder.as_ref().map(|r| r.anomalies_total()).unwrap_or(0) as i64,
                 ),
+        )
+        .with(
+            "tracing",
+            Config::map()
+                .with("armed", exec.tracer().is_armed())
+                .with("retained", exec.tracer().retained())
+                .with("drops", exec.tracer().drops() as i64),
         );
     json::to_string_pretty(&cfg)
 }

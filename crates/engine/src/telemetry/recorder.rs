@@ -31,6 +31,10 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 
+/// Default cap on reports returned by a `/runs` scrape when the request
+/// carries no explicit `?limit=N`.
+pub const DEFAULT_RUNS_LIMIT: usize = 32;
+
 /// Thresholds for the flight recorder's anomaly detectors.
 ///
 /// The defaults are deliberately conservative — they are tuned to stay
@@ -258,6 +262,9 @@ pub struct FlightReport {
     pub anomalies: Vec<Anomaly>,
     /// Per-system outcome counts when the solve was batched.
     pub batch: Option<BatchOutcome>,
+    /// The solve's trace id when span tracing was armed (links this run —
+    /// anomalous or not — to its `/traces/<id>` span tree).
+    pub trace_id: Option<u64>,
 }
 
 impl FlightReport {
@@ -324,6 +331,9 @@ impl FlightReport {
                     .with("busy_ns", l.busy_ns as i64)
             })
             .collect();
+        if let Some(id) = self.trace_id {
+            cfg = cfg.with("trace_id", id as i64);
+        }
         let anomalies: Vec<Config> = self.anomalies.iter().map(Anomaly::to_config).collect();
         cfg.with("kernels", kernels)
             .with("lanes", lanes)
@@ -603,15 +613,28 @@ impl FlightRecorder {
         self.state().anomaly_counts.values().sum()
     }
 
-    /// Renders the retained reports as the `/runs` JSON document.
-    pub fn runs_json(&self) -> String {
-        let reports: Vec<Config> = self
-            .state()
+    /// Renders the `limit` most recent retained reports, newest first, as
+    /// the `/runs` JSON document. `total` carries the retained count so a
+    /// truncated response is recognizable; `returned` the length of
+    /// `reports`. HTTP callers default `limit` to
+    /// [`DEFAULT_RUNS_LIMIT`](crate::telemetry::DEFAULT_RUNS_LIMIT).
+    pub fn runs_json(&self, limit: usize) -> String {
+        let state = self.state();
+        let total = state.reports.len();
+        let reports: Vec<Config> = state
             .reports
             .iter()
+            .rev()
+            .take(limit.max(1))
             .map(FlightReport::to_config)
             .collect();
-        json::to_string_pretty(&Config::map().with("reports", reports))
+        let returned = reports.len();
+        json::to_string_pretty(
+            &Config::map()
+                .with("reports", reports)
+                .with("total", total)
+                .with("returned", returned),
+        )
     }
 
     fn state(&self) -> std::sync::MutexGuard<'_, RecorderState> {
@@ -630,6 +653,10 @@ impl FlightRecorder {
             .as_ref()
             .map(|e| e.pool_lane_stats())
             .unwrap_or_default();
+        // Read before taking our own lock: the tracer queries this recorder
+        // (lock-free of ours) when it judges the finished trace, so neither
+        // side may hold both locks at once.
+        let trace_id = exec.as_ref().and_then(|e| e.tracer().active_trace_id());
         let mut state = self.state();
         let current = std::mem::take(&mut state.current);
         let lanes = lane_stats_since(&lanes_now, &state.lane_mark);
@@ -723,6 +750,7 @@ impl FlightRecorder {
             lanes,
             anomalies,
             batch,
+            trace_id,
         };
         let capacity = self.config.capacity.max(1);
         while state.reports.len() >= capacity {

@@ -384,3 +384,190 @@ fn detached_recorder_observes_nothing() {
     exec.disable_flight_recorder();
     assert!(!exec.loggers().is_active(), "disable detaches the recorder");
 }
+
+/// Satellite: `/runs?limit=N` returns the N newest reports, newest first,
+/// with `total`/`returned` exposing the truncation.
+#[test]
+fn runs_limit_truncates_newest_first() {
+    let exec = Executor::omp(2);
+    exec.enable_flight_recorder_with(DetectorConfig {
+        drift_min_solves: u64::MAX,
+        imbalance_ratio: f64::INFINITY,
+        ..DetectorConfig::default()
+    });
+    let server = exec.serve_telemetry("127.0.0.1:0").unwrap();
+    let a = Arc::new(poisson_csr(&exec, 256));
+    for _ in 0..5 {
+        assert!(solve_cg(&exec, &a).is_converged());
+    }
+
+    let (status, body) = http_get(server.addr(), "/runs?limit=2");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let doc = Config::from_json(&body).expect("truncated /runs is valid JSON");
+    assert_eq!(doc.get("total").and_then(|v| v.as_int()), Some(5));
+    assert_eq!(doc.get("returned").and_then(|v| v.as_int()), Some(2));
+    let reports = doc.get("reports").and_then(|r| r.as_array()).unwrap();
+    assert_eq!(reports.len(), 2);
+    let seqs: Vec<i64> = reports
+        .iter()
+        .map(|r| r.get("seq").and_then(|s| s.as_int()).unwrap())
+        .collect();
+    assert_eq!(seqs, vec![5, 4], "newest first");
+
+    // No query: everything fits under the default cap, newest still first.
+    let (_, body) = http_get(server.addr(), "/runs");
+    let doc = Config::from_json(&body).unwrap();
+    assert_eq!(doc.get("returned").and_then(|v| v.as_int()), Some(5));
+    assert_eq!(
+        doc.get("reports").and_then(|r| r.as_array()).unwrap().len(),
+        5
+    );
+    // A malformed limit falls back to the default rather than erroring.
+    let (status, _) = http_get(server.addr(), "/runs?limit=bogus");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    server.shutdown();
+    exec.disable_flight_recorder();
+}
+
+/// Satellite: a request line that exceeds the head cap without ever
+/// terminating is rejected as malformed, not truncated into a valid path.
+#[test]
+fn oversized_request_line_is_rejected() {
+    let exec = Executor::reference();
+    let server = exec.serve_telemetry("127.0.0.1:0").unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(16_384));
+    stream.write_all(huge.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8(raw).unwrap();
+    assert!(
+        text.starts_with("HTTP/1.1 400 Bad Request"),
+        "oversized head must 400: {text}"
+    );
+    server.shutdown();
+}
+
+/// Satellite: `/traces` is GET-only like every other endpoint.
+#[test]
+fn unknown_method_on_traces_is_rejected() {
+    let exec = Executor::reference();
+    let server = exec.serve_telemetry("127.0.0.1:0").unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .write_all(b"POST /traces HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8(raw).unwrap();
+    assert!(
+        text.starts_with("HTTP/1.1 405 Method Not Allowed"),
+        "{text}"
+    );
+    // An unknown trace id under GET is a 404 with a JSON error.
+    let (status, body) = http_get(server.addr(), "/traces/999999");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+    assert!(body.contains("unknown trace id"), "{body}");
+    server.shutdown();
+}
+
+/// Satellite: concurrent `/traces` + `/traces/<id>` scrapes during an armed
+/// batched solve never observe a torn span tree — every drilled-down trace
+/// is valid JSON whose span parents all resolve within the document.
+#[test]
+fn concurrent_traces_scrape_during_armed_batched_solve() {
+    use gko::matrix::{BatchCsr, BatchDense};
+    use gko::solver::BatchCg;
+    use gko::stop::Criteria;
+
+    let exec = Executor::omp(16);
+    exec.enable_flight_recorder_with(DetectorConfig {
+        drift_min_solves: u64::MAX,
+        imbalance_ratio: f64::INFINITY,
+        ..DetectorConfig::default()
+    });
+    exec.enable_tracing(1);
+    let server = exec.serve_telemetry("127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let scrapers: Vec<_> = (0..3)
+        .map(|id| {
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut drilled = 0u32;
+                let mut scrapes = 0u32;
+                while scrapes < 10 || !done.load(Ordering::Acquire) {
+                    let (status, body) = http_get(addr, "/traces");
+                    assert_eq!(status, "HTTP/1.1 200 OK", "scraper {id}");
+                    let index = Config::from_json(&body)
+                        .unwrap_or_else(|e| panic!("scraper {id}: bad index: {e:?}\n{body}"));
+                    let traces = index.get("traces").and_then(|t| t.as_array()).unwrap();
+                    for entry in traces {
+                        let tid = entry.get("trace_id").and_then(|v| v.as_int()).unwrap();
+                        let (status, body) = http_get(addr, &format!("/traces/{tid}"));
+                        if status != "HTTP/1.1 200 OK" {
+                            continue; // evicted between index and drill-down
+                        }
+                        let doc = Config::from_json(&body).unwrap_or_else(|e| {
+                            panic!("scraper {id}: torn trace JSON: {e:?}\n{body}")
+                        });
+                        let spans = doc.get("spans").and_then(|s| s.as_array()).unwrap();
+                        let ids: Vec<i64> = spans
+                            .iter()
+                            .map(|s| s.get("id").and_then(|v| v.as_int()).unwrap())
+                            .collect();
+                        let mut roots = 0;
+                        for span in spans {
+                            let parent =
+                                span.get("parent").and_then(|v| v.as_int()).unwrap();
+                            if parent == 0 {
+                                roots += 1;
+                            } else {
+                                assert!(
+                                    ids.contains(&parent),
+                                    "scraper {id}: dangling parent {parent} in {body}"
+                                );
+                            }
+                        }
+                        assert_eq!(roots, 1, "scraper {id}: torn tree in {body}");
+                        drilled += 1;
+                    }
+                    scrapes += 1;
+                }
+                drilled
+            })
+        })
+        .collect();
+
+    let single = poisson_csr(&exec, 128);
+    let batch = Arc::new(BatchCsr::replicated(&single, 6).unwrap());
+    for _ in 0..8 {
+        let mut b = BatchDense::<f64>::zeros(&exec, 6, gko::Dim2::new(128, 1));
+        b.fill(1.0);
+        let mut x = BatchDense::<f64>::zeros(&exec, 6, gko::Dim2::new(128, 1));
+        let record = BatchCg::new(batch.clone())
+            .unwrap()
+            .with_criteria(Criteria::iterations_and_reduction(500, 1e-10))
+            .apply_batch(&b, &mut x)
+            .unwrap();
+        assert!(record.all_converged());
+    }
+    done.store(true, Ordering::Release);
+    for handle in scrapers {
+        assert!(
+            handle.join().unwrap() > 0,
+            "scrapers must have drilled into at least one trace"
+        );
+    }
+    // The tracer gauges are exposed on /metrics while armed.
+    let (_, metrics) = http_get(addr, "/metrics");
+    for needle in [
+        "# TYPE gko_trace_retained gauge",
+        "# TYPE gko_trace_drops_total counter",
+    ] {
+        assert!(metrics.contains(needle), "missing {needle:?} in:\n{metrics}");
+    }
+    server.shutdown();
+    exec.disable_tracing();
+}

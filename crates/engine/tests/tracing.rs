@@ -1,0 +1,334 @@
+//! Acceptance tests for causal span tracing: an armed CG solve on a 16-lane
+//! pool yields one rooted span tree whose per-lane chunk spans exactly tile
+//! every pool dispatch; anomalous solves are always retained while healthy
+//! ones head-sample 1-in-N; slow solves are retained by the latency
+//! threshold; and the inert/disarmed paths observe nothing.
+
+use gko::linop::LinOp;
+use gko::matrix::{BatchCsr, BatchDense, Csr, Dense};
+use gko::preconditioner::Jacobi;
+use gko::solver::{BatchCg, Cg, Ir};
+use gko::stop::Criteria;
+use gko::trace::{SpanKind, TraceConfig, TraceReport, OWNER_LANE};
+use gko::{DetectorConfig, Dim2, Executor};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn poisson_csr(exec: &Executor, n: usize) -> Csr<f64, i32> {
+    let mut t = Vec::new();
+    for i in 0..n {
+        t.push((i, i, 4.0));
+        if i > 0 {
+            t.push((i, i - 1, -1.0));
+            t.push((i - 1, i, -1.0));
+        }
+    }
+    Csr::from_triplets(exec, Dim2::square(n), &t).unwrap()
+}
+
+fn solve_cg(exec: &Executor, a: &Arc<Csr<f64, i32>>) {
+    let n = a.size().rows;
+    let solver = Cg::new(a.clone())
+        .unwrap()
+        .with_criteria(Criteria::iterations_and_reduction(2 * n, 1e-10));
+    let b = Dense::<f64>::filled(exec, Dim2::new(n, 1), 1.0);
+    let mut x = Dense::<f64>::zeros(exec, Dim2::new(n, 1));
+    solver.apply(&b, &mut x).unwrap();
+    assert!(
+        solver.logger().snapshot().stop_reason.unwrap().is_converged(),
+        "reference solve must converge"
+    );
+}
+
+/// Flight-recorder thresholds with the timing-based detectors neutralized:
+/// these tests assert on *tracing* behaviour, and wall-clock detectors fire
+/// spuriously on oversubscribed CI hosts.
+fn quiet_detectors() -> DetectorConfig {
+    DetectorConfig {
+        drift_min_solves: u64::MAX,
+        imbalance_ratio: f64::INFINITY,
+        ..DetectorConfig::default()
+    }
+}
+
+/// Structural validation of a span tree: unique ids, exactly one root (the
+/// report's `root`), every parent resolvable, and for every dispatch span
+/// the chunk spans parented under it exactly tile `0..chunk_count`.
+fn assert_rooted_tree(report: &TraceReport, lanes: usize) {
+    let mut ids = BTreeSet::new();
+    for s in &report.spans {
+        assert!(ids.insert(s.id), "duplicate span id {} in {report:?}", s.id);
+    }
+    let roots: Vec<_> = report.spans.iter().filter(|s| s.parent == 0).collect();
+    assert_eq!(roots.len(), 1, "exactly one root span: {report:?}");
+    assert_eq!(roots[0].id, report.root);
+    assert_eq!(roots[0].kind, SpanKind::Solve);
+    for s in &report.spans {
+        if s.parent != 0 {
+            assert!(
+                ids.contains(&s.parent),
+                "span {} has dangling parent {}",
+                s.id,
+                s.parent
+            );
+        }
+        match s.kind {
+            SpanKind::Chunk => {
+                assert!(
+                    (s.lane as usize) < lanes,
+                    "chunk lane {} out of range",
+                    s.lane
+                );
+            }
+            _ => assert_eq!(s.lane, OWNER_LANE, "owner-thread span has a lane"),
+        }
+    }
+    // Per-dispatch tiling: a dispatch span's `index` is its chunk count, and
+    // the chunk spans parented under it must carry exactly the indices
+    // 0..count, each once.
+    let dispatches: Vec<_> = report
+        .spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Dispatch)
+        .collect();
+    assert!(!dispatches.is_empty(), "pooled solve produced no dispatch spans");
+    for d in &dispatches {
+        let mut chunk_indices: Vec<u64> = report
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Chunk && s.parent == d.id)
+            .map(|s| s.index)
+            .collect();
+        chunk_indices.sort_unstable();
+        let expected: Vec<u64> = (0..d.index).collect();
+        assert_eq!(
+            chunk_indices, expected,
+            "chunk spans must tile dispatch {} exactly",
+            d.id
+        );
+    }
+}
+
+/// Tentpole acceptance: an armed CG solve on omp-16 yields a single rooted
+/// span tree with solve, iteration, kernel, and dispatch layers, whose
+/// per-lane chunk spans exactly tile every pool dispatch.
+#[test]
+fn armed_cg_solve_yields_one_rooted_tree_with_tiled_chunks() {
+    let exec = Executor::omp(16);
+    exec.enable_flight_recorder_with(quiet_detectors());
+    exec.enable_tracing(1);
+    let a = Arc::new(poisson_csr(&exec, 2048));
+    solve_cg(&exec, &a);
+
+    let report = exec.tracer().latest().expect("sample_n=1 retains the solve");
+    assert_eq!(report.annotation, "solver::Cg");
+    assert!(report.converged, "{report:?}");
+    assert_eq!(report.stop_reason, "residual_reduction");
+    assert!(report.iterations > 0);
+    assert_eq!(report.retained, "sampled");
+    assert_eq!(report.truncated_spans, 0);
+    assert!(report.duration_ns > 0);
+    assert_rooted_tree(&report, 16);
+
+    // All four owner-thread layers are present.
+    for kind in [
+        SpanKind::Solve,
+        SpanKind::Iteration,
+        SpanKind::Kernel,
+        SpanKind::Dispatch,
+    ] {
+        assert!(
+            report.spans.iter().any(|s| s.kind == kind),
+            "missing {kind:?} layer: {report:?}"
+        );
+    }
+    // Iteration spans are numbered and parent under the root.
+    let iters: Vec<_> = report
+        .spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Iteration)
+        .collect();
+    assert_eq!(iters.len() as u64, report.iterations);
+    for it in &iters {
+        assert_eq!(it.parent, report.root);
+        assert!(it.index >= 1 && it.index <= report.iterations);
+    }
+    // The flight recorder's report links back to this trace.
+    let flight = exec.flight_recorder().unwrap().latest().unwrap();
+    assert_eq!(flight.trace_id, Some(report.trace_id));
+
+    // The JSON and Chrome-trace exports are well-formed.
+    let doc = gko::config::Config::from_json(&gko::config::json::to_string_pretty(
+        &report.to_config(),
+    ))
+    .expect("trace JSON round-trips");
+    assert_eq!(
+        doc.get("spans").and_then(|s| s.as_array()).unwrap().len(),
+        report.spans.len()
+    );
+    let chrome = report.to_chrome_trace();
+    let chrome_doc = gko::config::Config::from_json(&chrome).expect("chrome trace is JSON");
+    assert!(chrome_doc
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .is_some_and(|e| !e.is_empty()));
+    exec.disable_tracing();
+}
+
+/// Healthy solves head-sample 1-in-N: with `sample_n = 4`, eight healthy
+/// solves retain exactly solves 1 and 5 and count six drops.
+#[test]
+fn healthy_solves_sample_one_in_n() {
+    let exec = Executor::omp(4);
+    exec.enable_flight_recorder_with(quiet_detectors());
+    exec.enable_tracing(4);
+    let a = Arc::new(poisson_csr(&exec, 512));
+    for _ in 0..8 {
+        solve_cg(&exec, &a);
+    }
+    let tracer = exec.tracer();
+    let reports = tracer.reports();
+    assert_eq!(reports.len(), 2, "1-in-4 of 8 solves: {reports:?}");
+    assert_eq!(tracer.drops(), 6);
+    assert_eq!(
+        reports.iter().map(|r| r.seq).collect::<Vec<_>>(),
+        vec![1, 5]
+    );
+    for r in &reports {
+        assert_eq!(r.retained, "sampled");
+        assert!(r.anomalies.is_empty());
+    }
+    exec.disable_tracing();
+}
+
+/// Anomalous solves are always retained, regardless of the head sample: a
+/// stagnating Richardson solve lands in the store with `retained =
+/// "anomaly"` even though its ordinal is sampled out.
+#[test]
+fn anomalous_solves_are_always_retained() {
+    let exec = Executor::reference();
+    exec.enable_flight_recorder();
+    exec.enable_tracing(1_000_000);
+    // Solve 1 is the head-kept ordinal; it is healthy and retained as
+    // "sampled", so the stagnating solve below is *not* head-kept.
+    let a = Arc::new(poisson_csr(&exec, 64));
+    solve_cg(&exec, &a);
+
+    let indefinite = Csr::<f64, i32>::from_triplets(
+        &exec,
+        Dim2::square(2),
+        &[(0, 0, 2.0), (0, 1, 3.0), (1, 0, 3.0), (1, 1, 2.0)],
+    )
+    .unwrap();
+    let jacobi = Arc::new(Jacobi::new(&indefinite).unwrap());
+    let solver = Ir::new(Arc::new(indefinite))
+        .unwrap()
+        .with_solver(jacobi)
+        .unwrap()
+        .with_criteria(Criteria::iterations(12));
+    let b = Dense::<f64>::filled(&exec, Dim2::new(2, 1), 1.0);
+    let mut x = Dense::<f64>::zeros(&exec, Dim2::new(2, 1));
+    solver.apply(&b, &mut x).unwrap();
+
+    let report = exec.tracer().latest().expect("anomalous solve retained");
+    assert_eq!(report.seq, 2, "the stagnating solve is ordinal 2");
+    assert_eq!(report.retained, "anomaly");
+    assert_eq!(report.annotation, "solver::Ir");
+    assert!(!report.converged);
+    assert_eq!(report.anomalies, vec!["stagnation".to_string()]);
+    assert_eq!(report.stop_reason, "max_iterations");
+    // Two-way linkage: the flight recorder's run carries this trace id.
+    let flight = exec.flight_recorder().unwrap().latest().unwrap();
+    assert_eq!(flight.trace_id, Some(report.trace_id));
+    assert!(!flight.anomalies.is_empty());
+    assert_eq!(exec.tracer().drops(), 0, "anomalies never count as drops");
+    exec.disable_tracing();
+}
+
+/// Solves slower than the latency threshold are always retained, even when
+/// their ordinal is sampled out.
+#[test]
+fn slow_solves_are_retained_by_latency_threshold() {
+    let exec = Executor::omp(2);
+    exec.enable_flight_recorder_with(quiet_detectors());
+    exec.enable_tracing_with(TraceConfig {
+        sample_n: 1_000_000,
+        latency_threshold_ns: 1, // every real solve exceeds this
+        ..TraceConfig::default()
+    });
+    let a = Arc::new(poisson_csr(&exec, 256));
+    solve_cg(&exec, &a);
+    solve_cg(&exec, &a);
+    let tracer = exec.tracer();
+    let reports = tracer.reports();
+    assert_eq!(reports.len(), 2);
+    // Solve 1 is head-kept anyway, but the anomaly/latency verdict takes
+    // precedence over the head sample; solve 2 survives only via latency.
+    assert!(reports.iter().all(|r| r.retained == "latency"), "{reports:?}");
+    assert_eq!(tracer.drops(), 0);
+    exec.disable_tracing();
+}
+
+/// Inert-path regression: an untraced executor assembles nothing, and
+/// disabling tracing stops assembly while keeping retained traces readable.
+#[test]
+fn disarmed_tracer_observes_nothing() {
+    let exec = Executor::omp(2);
+    let a = Arc::new(poisson_csr(&exec, 256));
+    assert!(!exec.tracer().is_armed());
+    solve_cg(&exec, &a);
+    assert_eq!(exec.tracer().retained(), 0);
+    assert_eq!(exec.tracer().drops(), 0);
+    assert!(exec.tracer().active_trace_id().is_none());
+
+    exec.enable_flight_recorder_with(quiet_detectors());
+    exec.enable_tracing(1);
+    solve_cg(&exec, &a);
+    assert_eq!(exec.tracer().retained(), 1);
+
+    exec.disable_tracing();
+    assert!(!exec.tracer().is_armed());
+    solve_cg(&exec, &a);
+    assert_eq!(
+        exec.tracer().retained(),
+        1,
+        "disarmed solves must not be traced"
+    );
+    assert!(exec.tracer().latest().is_some(), "store stays readable");
+}
+
+/// Batched solves trace too: one root per `apply_batch`, no synthesized
+/// iteration layer (batched solvers emit no per-iteration events), and a
+/// batch-outcome stop reason.
+#[test]
+fn batched_solve_produces_rooted_trace_without_iteration_layer() {
+    let exec = Executor::omp(4);
+    exec.enable_flight_recorder_with(quiet_detectors());
+    exec.enable_tracing(1);
+    let single = poisson_csr(&exec, 96);
+    let batch = Arc::new(BatchCsr::replicated(&single, 5).unwrap());
+    let mut b = BatchDense::<f64>::zeros(&exec, 5, Dim2::new(96, 1));
+    b.fill(1.0);
+    let mut x = BatchDense::<f64>::zeros(&exec, 5, Dim2::new(96, 1));
+    let record = BatchCg::new(batch)
+        .unwrap()
+        .with_criteria(Criteria::iterations_and_reduction(400, 1e-10))
+        .apply_batch(&b, &mut x)
+        .unwrap();
+    assert!(record.all_converged(), "{record:?}");
+
+    let report = exec.tracer().latest().expect("batched solve retained");
+    assert_eq!(report.annotation, "solver::BatchCg");
+    assert!(report.converged);
+    assert!(
+        report.stop_reason.starts_with("batch: 5/5 converged"),
+        "{}",
+        report.stop_reason
+    );
+    assert!(
+        report.spans.iter().all(|s| s.kind != SpanKind::Iteration),
+        "batched solves have no iteration layer: {report:?}"
+    );
+    assert_rooted_tree(&report, 4);
+    exec.disable_tracing();
+}

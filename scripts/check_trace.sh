@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Span-tracing gate: builds and runs the end-to-end trace probe, which arms
+# causal tracing (sample_n=1) on a real omp-16 CG solve, scrapes /traces and
+# /traces/<id> over raw TCP, and validates that the span parent links form a
+# single rooted tree, that the per-lane chunk spans exactly tile every pool
+# dispatch, that the Chrome-trace export parses, and that the /runs entry
+# links back to the trace. Run from anywhere; quick mode keeps it fast
+# enough for CI.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p pygko-bench --bin trace_probe
+PYGKO_BENCH_QUICK=1 ./target/release/trace_probe
+
+echo "check_trace: span-tree + tiling gate OK"

@@ -27,4 +27,7 @@ PYGKO_BENCH_QUICK=1 PYGKO_RESULTS_DIR="$SMOKE_DIR" \
 # Telemetry plane gate: live scrape endpoints + anomaly-detector self-tests.
 ./scripts/check_telemetry.sh
 
+# Span-tracing gate: rooted trace trees + per-dispatch chunk tiling.
+./scripts/check_trace.sh
+
 echo "verify: OK"
