@@ -4,23 +4,30 @@
 //!
 //! ```text
 //! cargo run -p pygko-analysis --bin lint_gate [--] [WORKSPACE_ROOT]
+//! cargo run -p pygko-analysis --bin lint_gate -- --format=json
 //! cargo run -p pygko-analysis --bin lint_gate -- --self-test
 //! ```
 //!
 //! Scans every `.rs` file under `crates/`, `examples/`, and `tests/` and
-//! prints one `path:line: [rule] message` diagnostic per violation. Exit
-//! codes: 0 clean, 1 violations found, 2 I/O or self-test failure.
+//! prints one `path:line: [rule] message` diagnostic per violation (or, with
+//! `--format=json`, a JSON document with the same diagnostics in the same
+//! deterministic order, rendered by the engine's own config serializer).
+//! Exit codes: 0 clean, 1 violations found, 2 I/O or self-test failure.
 
+use gko::config::{json, Config};
 use std::path::PathBuf;
 
 fn main() {
     let mut root_arg: Option<PathBuf> = None;
     let mut self_test = false;
+    let mut json_out = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--self-test" => self_test = true,
+            "--format=json" => json_out = true,
+            "--format=text" => json_out = false,
             "--help" | "-h" => {
-                eprintln!("usage: lint_gate [--self-test] [WORKSPACE_ROOT]");
+                eprintln!("usage: lint_gate [--self-test] [--format=json] [WORKSPACE_ROOT]");
                 return;
             }
             other => root_arg = Some(PathBuf::from(other)),
@@ -49,6 +56,29 @@ fn main() {
     let root = root_arg.unwrap_or_else(find_workspace_root);
     match pygko_analysis::lint_workspace(&root) {
         Ok((diags, files)) => {
+            if json_out {
+                // Diagnostics arrive sorted by (path, line, rule, message),
+                // so the JSON output is deterministic run-to-run.
+                let entries: Vec<Config> = diags
+                    .iter()
+                    .map(|d| {
+                        Config::map()
+                            .with("path", d.path.as_str())
+                            .with("line", d.line)
+                            .with("rule", d.rule)
+                            .with("message", d.message.as_str())
+                    })
+                    .collect();
+                let doc = Config::map()
+                    .with("files_scanned", files)
+                    .with("violations", entries.len())
+                    .with("diagnostics", entries);
+                println!("{}", json::to_string_pretty(&doc));
+                if !diags.is_empty() {
+                    std::process::exit(1);
+                }
+                return;
+            }
             for d in &diags {
                 println!("{d}");
             }

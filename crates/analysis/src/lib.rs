@@ -12,8 +12,9 @@
 //! * **`panic`** — no `.unwrap()` / `.expect(..)` / `panic!` family macros
 //!   in the engine's kernel and solver hot paths (`crates/engine/src/matrix`,
 //!   `crates/engine/src/solver`, `crates/engine/src/executor`) outside
-//!   `#[cfg(test)]`. Fallible paths must propagate [`GkoError`]; provably
-//!   infallible ones carry an explicit, justified escape hatch.
+//!   `#[cfg(test)]`. Fallible paths must propagate the engine's typed
+//!   `GkoError` (`crates/engine/src/base/error.rs`); provably infallible
+//!   ones carry an explicit, justified escape hatch.
 //! * **`instrumentation`** — every `apply` / `apply_advanced` / SpMV entry
 //!   point in a matrix format or solver must emit the `LinOpApply*` logging
 //!   events (directly via `crate::log::OpTimer`, or by delegating to an
@@ -25,6 +26,23 @@
 //!   wall-clock read is how nondeterminism sneaks into "reproducible"
 //!   results.
 //!
+//! On top of the per-line rules, a semantic pass builds a [`model`] of the
+//! workspace (structs, impls, functions with brace-matched bodies) and a
+//! [`callgraph`] with resolved intra-workspace calls, powering three
+//! cross-function rules:
+//!
+//! * **`lock-order`** — every engine/core `Mutex`/`RwLock` carries a
+//!   `// lock: <name>` declaration; held-lock sets are propagated along the
+//!   call graph and a cycle in the acquisition-order graph (a potential
+//!   deadlock) fails the gate with the offending chain. See [`locks`].
+//! * **`atomic-ordering`** — every engine/core `Atomic*` carries a
+//!   `// atomic: counter|flag|seqlock` role; Relaxed stores that publish
+//!   flags and Acquire/Release fences on pure counters are flagged. See
+//!   [`atomics`].
+//! * **`panic-reach`** — can-panic facts are propagated over the call graph,
+//!   so a panic-free-zone function transitively reaching an `unwrap()`
+//!   outside the zone is flagged with the full call chain. See [`callgraph`].
+//!
 //! The escape hatch is uniform across rules: a comment of the form
 //! `// lint: allow(<rule>): <justification>` on (or immediately above) the
 //! offending line suppresses the diagnostic. The justification is mandatory;
@@ -33,25 +51,41 @@
 //! Lexing is approximate but honest: the [`tokenizer`] masks out comments,
 //! string/char literals, and raw strings so the rules only ever match real
 //! code, and `#[cfg(test)]` items are tracked by brace matching.
-//!
-//! [`GkoError`]: https://docs.rs (the engine's typed error)
 
+pub mod atomics;
+pub mod callgraph;
+pub mod locks;
+pub mod model;
 pub mod tokenizer;
 
+use model::{crate_of, FileModel, Workspace};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
 use tokenizer::LintSource;
 
 /// Rule identifiers, as used both in diagnostics and in `lint: allow(...)`.
 pub const RULE_SAFETY: &str = "safety";
-/// See [`RULE_SAFETY`].
+/// Rule id for the no-panicking-shortcuts rule: `.unwrap()` / `.expect(..)`
+/// and the `panic!` macro family are banned in engine hot paths outside
+/// `#[cfg(test)]`.
 pub const RULE_PANIC: &str = "panic";
-/// See [`RULE_SAFETY`].
+/// Rule id for the instrumentation-coverage rule: `apply`/SpMV entry points
+/// must emit `LinOpApply*` events (directly or by delegation).
 pub const RULE_INSTRUMENTATION: &str = "instrumentation";
-/// See [`RULE_SAFETY`].
+/// Rule id for the forbidden-API rule: no `std::process`, no wall-clock
+/// reads outside the logging/metrics/bench layers.
 pub const RULE_FORBIDDEN_API: &str = "forbidden-api";
-/// See [`RULE_SAFETY`].
+/// Rule id for the escape-hatch hygiene rule: every `lint: allow(...)`
+/// directive must carry a non-empty justification.
 pub const RULE_ESCAPE_HATCH: &str = "escape-hatch";
+/// Rule id for the lock-order analysis (declarations, acquisition-order
+/// cycles, locks held across pool dispatch). See [`locks`].
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+/// Rule id for the atomic role/ordering analysis. See [`atomics`].
+pub const RULE_ATOMIC_ORDERING: &str = "atomic-ordering";
+/// Rule id for interprocedural panic reachability. See [`callgraph`].
+pub const RULE_PANIC_REACH: &str = "panic-reach";
 
 /// One lint finding, addressable as `file:line`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -77,7 +111,7 @@ impl fmt::Display for Diagnostic {
 }
 
 /// Paths (relative, `/`-separated) whose hot paths must stay panic-free.
-const PANIC_FREE_DIRS: &[&str] = &[
+pub(crate) const PANIC_FREE_DIRS: &[&str] = &[
     "crates/engine/src/matrix/",
     "crates/engine/src/solver/",
     "crates/engine/src/executor/",
@@ -362,7 +396,7 @@ fn check_forbidden_api(rel_path: &str, parsed: &LintSource, diags: &mut Vec<Diag
 }
 
 /// Whole-word containment (identifier boundaries on both sides).
-fn contains_word(haystack: &str, word: &str) -> bool {
+pub(crate) fn contains_word(haystack: &str, word: &str) -> bool {
     let mut start = 0;
     while let Some(pos) = haystack[start..].find(word) {
         let at = start + pos;
@@ -405,7 +439,7 @@ fn calls(body: &str, name: &str) -> bool {
 }
 
 /// True when `code` invokes the macro `name!` (not merely mentions the word).
-fn macro_invoked(code: &str, name: &str) -> bool {
+pub(crate) fn macro_invoked(code: &str, name: &str) -> bool {
     let mut start = 0;
     while let Some(pos) = code[start..].find(name) {
         let at = start + pos;
@@ -430,9 +464,101 @@ fn macro_invoked(code: &str, name: &str) -> bool {
 /// Directories (workspace-relative) scanned by [`lint_workspace`].
 pub const SCAN_ROOTS: &[&str] = &["crates", "examples", "tests"];
 
-/// Lints every `.rs` file under the workspace root's scan directories.
-/// Returns diagnostics sorted by path then line, plus the file count, or an
-/// I/O error description.
+/// Runs the semantic (cross-function) rules over already-parsed sources.
+fn lint_semantic(models: Vec<FileModel>, deps: &BTreeMap<String, Vec<String>>) -> Vec<Diagnostic> {
+    let ws = Workspace::build(models, deps);
+    let graph = callgraph::CallGraph::build(&ws);
+    let mut diags = Vec::new();
+    locks::check_lock_order(&ws, &graph, &mut diags);
+    atomics::check_atomic_ordering(&ws, &mut diags);
+    callgraph::check_panic_reach(&ws, &graph, &mut diags);
+    diags
+}
+
+/// Lints a set of in-memory sources: per-file rules plus the semantic
+/// cross-function rules, with every crate visible to every other. This is
+/// the entry point for self-tests and fixture-tree tests; [`lint_workspace`]
+/// is the on-disk equivalent with real crate dependency edges.
+pub fn lint_sources(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut models = Vec::with_capacity(files.len());
+    for (path, src) in files {
+        diags.extend(lint_file(path, src));
+        models.push(FileModel {
+            path: (*path).to_owned(),
+            krate: crate_of(path),
+            source: LintSource::parse(src),
+        });
+    }
+    diags.extend(lint_semantic(models, &BTreeMap::new()));
+    sort_diagnostics(&mut diags);
+    diags
+}
+
+/// Deterministic global order: path, then line, then rule, then message.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.message.as_str())
+            .cmp(&(b.path.as_str(), b.line, b.rule, b.message.as_str()))
+    });
+}
+
+/// Parses every workspace crate's `Cargo.toml` into `crate dir -> direct
+/// path-dependency dirs`, so call resolution respects the real dependency
+/// direction (the facade may call the engine; never the reverse).
+fn crate_deps(root: &Path) -> BTreeMap<String, Vec<String>> {
+    let crates_dir = root.join("crates");
+    let mut pkg_to_dir: BTreeMap<String, String> = BTreeMap::new();
+    let mut raw: Vec<(String, Vec<String>)> = Vec::new();
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        return BTreeMap::new();
+    };
+    for entry in entries.flatten() {
+        let dir = entry.path();
+        let Ok(manifest) = std::fs::read_to_string(dir.join("Cargo.toml")) else {
+            continue;
+        };
+        let dir_name = entry.file_name().to_string_lossy().to_string();
+        let mut pkg_name = dir_name.clone();
+        let mut deps = Vec::new();
+        let mut in_deps = false;
+        for line in manifest.lines() {
+            let t = line.trim();
+            if t.starts_with('[') {
+                in_deps = t == "[dependencies]";
+                continue;
+            }
+            if !in_deps {
+                if let Some(rest) = t.strip_prefix("name") {
+                    if let Some(v) = rest.trim_start().strip_prefix('=') {
+                        pkg_name = v.trim().trim_matches('"').to_owned();
+                    }
+                }
+            } else if let Some(key) = t.split(['.', '=', ' ']).next() {
+                if !key.is_empty() {
+                    deps.push(key.to_owned());
+                }
+            }
+        }
+        pkg_to_dir.insert(pkg_name, dir_name.clone());
+        raw.push((dir_name, deps));
+    }
+    raw.into_iter()
+        .map(|(dir, deps)| {
+            let mapped = deps
+                .iter()
+                .filter_map(|d| pkg_to_dir.get(d).cloned())
+                .collect();
+            (dir, mapped)
+        })
+        .collect()
+}
+
+/// Lints every `.rs` file under the workspace root's scan directories: the
+/// per-file rules fan out across std threads (parse dominates the cost),
+/// then the semantic rules run over the combined model. Returns
+/// deterministically sorted diagnostics plus the file count, or an I/O
+/// error description.
 pub fn lint_workspace(root: &Path) -> Result<(Vec<Diagnostic>, usize), String> {
     let mut files = Vec::new();
     for scan in SCAN_ROOTS {
@@ -442,7 +568,7 @@ pub fn lint_workspace(root: &Path) -> Result<(Vec<Diagnostic>, usize), String> {
         }
     }
     files.sort();
-    let mut diags = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for file in &files {
         let src = std::fs::read_to_string(file)
             .map_err(|e| format!("reading {}: {e}", file.display()))?;
@@ -451,8 +577,50 @@ pub fn lint_workspace(root: &Path) -> Result<(Vec<Diagnostic>, usize), String> {
             .unwrap_or(file)
             .to_string_lossy()
             .replace('\\', "/");
-        diags.extend(lint_file(&rel, &src));
+        sources.push((rel, src));
     }
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(sources.len().max(1));
+    // Interleaved assignment; results carry their index so the merge is
+    // deterministic regardless of scheduling.
+    let mut indexed: Vec<(usize, Vec<Diagnostic>, FileModel)> = std::thread::scope(|scope| {
+        let sources = &sources;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for idx in (w..sources.len()).step_by(workers) {
+                        let (rel, src) = &sources[idx];
+                        let diags = lint_file(rel, src);
+                        let model = FileModel {
+                            path: rel.clone(),
+                            krate: crate_of(rel),
+                            source: LintSource::parse(src),
+                        };
+                        out.push((idx, diags, model));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("lint worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|(idx, _, _)| *idx);
+
+    let mut diags = Vec::new();
+    let mut models = Vec::with_capacity(sources.len());
+    for (_, d, model) in indexed {
+        diags.extend(d);
+        models.push(model);
+    }
+    diags.extend(lint_semantic(models, &crate_deps(root)));
+    sort_diagnostics(&mut diags);
     Ok((diags, files.len()))
 }
 
@@ -577,11 +745,156 @@ pub fn self_test_cases() -> Vec<SelfTestCase> {
     ]
 }
 
+/// One injected-violation case for the semantic rules' self-test: a small
+/// multi-file workspace and the rule expected to fire across it.
+pub struct SemSelfTestCase {
+    /// Short case name for the report.
+    pub name: &'static str,
+    /// Pretend workspace files (path, source).
+    pub files: &'static [(&'static str, &'static str)],
+    /// Rule expected to fire; `None` means the fixture must lint clean.
+    pub expect: Option<&'static str>,
+}
+
+/// Built-in semantic violation fixtures: known-bad/known-good twins for
+/// `lock-order`, `atomic-ordering`, and `panic-reach`.
+pub fn sem_self_test_cases() -> Vec<SemSelfTestCase> {
+    const CYCLE_BAD: &str = "use std::sync::Mutex;\n\
+        pub struct S {\n    // lock: selftest.a\n    a: Mutex<u32>,\n    // lock: selftest.b\n    b: Mutex<u32>,\n}\n\
+        impl S {\n\
+            pub fn ab(&self) {\n        let g = self.a.lock();\n        let h = self.b.lock();\n    }\n\
+            pub fn ba(&self) {\n        let g = self.b.lock();\n        let h = self.a.lock();\n    }\n\
+        }\n";
+    const CYCLE_GOOD: &str = "use std::sync::Mutex;\n\
+        pub struct S {\n    // lock: selftest.a\n    a: Mutex<u32>,\n    // lock: selftest.b\n    b: Mutex<u32>,\n}\n\
+        impl S {\n\
+            pub fn ab(&self) {\n        let g = self.a.lock();\n        let h = self.b.lock();\n    }\n\
+            pub fn ab_again(&self) {\n        let g = self.a.lock();\n        let h = self.b.lock();\n    }\n\
+        }\n";
+    vec![
+        SemSelfTestCase {
+            name: "lock-order cycle (ab vs ba)",
+            files: &[("crates/engine/src/x.rs", CYCLE_BAD)],
+            expect: Some(RULE_LOCK_ORDER),
+        },
+        SemSelfTestCase {
+            name: "consistent lock order passes",
+            files: &[("crates/engine/src/x.rs", CYCLE_GOOD)],
+            expect: None,
+        },
+        SemSelfTestCase {
+            name: "undeclared engine lock",
+            files: &[(
+                "crates/engine/src/x.rs",
+                "use std::sync::Mutex;\npub struct S {\n    a: Mutex<u32>,\n}\n",
+            )],
+            expect: Some(RULE_LOCK_ORDER),
+        },
+        SemSelfTestCase {
+            name: "lock held across pool dispatch",
+            files: &[(
+                "crates/engine/src/x.rs",
+                "use std::sync::Mutex;\npub struct S {\n    // lock: selftest.pd\n    a: Mutex<u32>,\n}\n\
+                 impl S {\n    pub fn bad(&self, exec: &E) {\n        let g = self.a.lock();\n        exec.parallel_chunks(4, |_| {});\n    }\n}\n",
+            )],
+            expect: Some(RULE_LOCK_ORDER),
+        },
+        SemSelfTestCase {
+            name: "Relaxed store publishing a flag",
+            files: &[(
+                "crates/engine/src/x.rs",
+                "use std::sync::atomic::{AtomicBool, Ordering};\npub struct S {\n    // atomic: flag\n    armed: AtomicBool,\n}\n\
+                 impl S {\n    pub fn arm(&self) { self.armed.store(true, Ordering::Relaxed); }\n}\n",
+            )],
+            expect: Some(RULE_ATOMIC_ORDERING),
+        },
+        SemSelfTestCase {
+            name: "Release store on a flag passes",
+            files: &[(
+                "crates/engine/src/x.rs",
+                "use std::sync::atomic::{AtomicBool, Ordering};\npub struct S {\n    // atomic: flag\n    armed: AtomicBool,\n}\n\
+                 impl S {\n    pub fn arm(&self) { self.armed.store(true, Ordering::Release); }\n}\n",
+            )],
+            expect: None,
+        },
+        SemSelfTestCase {
+            name: "SeqCst fence on a pure counter",
+            files: &[(
+                "crates/engine/src/x.rs",
+                "use std::sync::atomic::{AtomicU64, Ordering};\npub struct S {\n    // atomic: counter\n    hits: AtomicU64,\n}\n\
+                 impl S {\n    pub fn hit(&self) { self.hits.fetch_add(1, Ordering::SeqCst); }\n}\n",
+            )],
+            expect: Some(RULE_ATOMIC_ORDERING),
+        },
+        SemSelfTestCase {
+            name: "unclassified engine atomic",
+            files: &[(
+                "crates/engine/src/x.rs",
+                "use std::sync::atomic::AtomicUsize;\npub struct S {\n    n: AtomicUsize,\n}\n",
+            )],
+            expect: Some(RULE_ATOMIC_ORDERING),
+        },
+        SemSelfTestCase {
+            name: "panic-reach across a module boundary",
+            files: &[
+                (
+                    "crates/engine/src/solver/injected.rs",
+                    "pub fn iterate() { helper(); }\n",
+                ),
+                (
+                    "crates/engine/src/base/injected.rs",
+                    "pub fn helper() { deeper(); }\nfn deeper() { None::<u32>.unwrap(); }\n",
+                ),
+            ],
+            expect: Some(RULE_PANIC_REACH),
+        },
+        SemSelfTestCase {
+            name: "justified panic site stops panic-reach",
+            files: &[
+                (
+                    "crates/engine/src/solver/injected.rs",
+                    "pub fn iterate() { helper(); }\n",
+                ),
+                (
+                    "crates/engine/src/base/injected.rs",
+                    "pub fn helper() {\n    // lint: allow(panic): value is Some by construction here.\n    Some(1u32).unwrap();\n}\n",
+                ),
+            ],
+            expect: None,
+        },
+    ]
+}
+
 /// Runs the embedded self-test. Returns a per-case report; `Err` lists the
 /// cases where the gate failed to behave (missing or spurious diagnostics).
 pub fn run_self_test() -> Result<Vec<String>, Vec<String>> {
     let mut report = Vec::new();
     let mut failures = Vec::new();
+    for case in sem_self_test_cases() {
+        let diags = lint_sources(case.files);
+        match case.expect {
+            Some(rule) => {
+                if diags.iter().any(|d| d.rule == rule) {
+                    report.push(format!("self-test: {} -> fires [{rule}]", case.name));
+                } else {
+                    failures.push(format!(
+                        "self-test: {} expected [{rule}] but got {:?}",
+                        case.name, diags
+                    ));
+                }
+            }
+            None => {
+                if diags.is_empty() {
+                    report.push(format!("self-test: {} -> clean", case.name));
+                } else {
+                    failures.push(format!(
+                        "self-test: {} expected clean but got {:?}",
+                        case.name, diags
+                    ));
+                }
+            }
+        }
+    }
     for case in self_test_cases() {
         let diags = lint_file(case.path, case.src);
         match case.expect {

@@ -195,6 +195,25 @@ impl LintSource {
     fn line_of(&self, offset: usize) -> usize {
         self.line_starts.partition_point(|&s| s <= offset).max(1) - 1
     }
+
+    /// The whole file's masked code joined with `\n` (literal contents
+    /// blanked, comments stripped). Multi-line constructs — chained call
+    /// receivers, signatures split across lines — can be matched here
+    /// without comment/string false positives.
+    pub fn full_code(&self) -> &str {
+        &self.full
+    }
+
+    /// Maps a byte offset within [`full_code`](Self::full_code) back to its
+    /// 0-based line, so semantic rules can report `file:line` diagnostics.
+    pub fn line_of_offset(&self, offset: usize) -> usize {
+        self.line_of(offset)
+    }
+
+    /// Byte offset of a 0-based line's start within [`full_code`](Self::full_code).
+    pub fn line_start(&self, line: usize) -> usize {
+        self.line_starts.get(line).copied().unwrap_or(self.full.len())
+    }
 }
 
 fn is_ident_byte(b: u8) -> bool {

@@ -17,9 +17,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Reentrant, like the real GIL: a thread already inside the interpreter
 /// may re-enter the binding layer (facade functions compose facade
 /// functions, e.g. preconditioner generation converting COO to CSR).
+// lock: gil
 static GIL: ReentrantMutex = ReentrantMutex::new();
 
 /// Count of facade calls made (diagnostics / tests).
+// atomic: counter
 static CALLS: AtomicU64 = AtomicU64::new(0);
 
 /// Runs `f` under the GIL, charging one binding crossing to `device`.

@@ -11,6 +11,7 @@ use std::sync::{Condvar, Mutex};
 
 /// Process-unique numeric thread ids (`std::thread::ThreadId` does not expose
 /// a stable integer, so we mint our own).
+// atomic: counter
 static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
@@ -29,10 +30,10 @@ pub struct ReentrantMutex {
     /// Numeric id of the owning thread, 0 when unowned. Written only while
     /// `inner` is held; read lock-free on the reentrant fast path (a thread
     /// can only observe its *own* id there, which it itself published).
-    owner: AtomicU64,
+    owner: AtomicU64, // atomic: flag
     /// Recursion depth; touched only by the owning thread.
     depth: UnsafeCell<usize>,
-    inner: Mutex<()>,
+    inner: Mutex<()>, // lock: reentrant.inner
     unlocked: Condvar,
 }
 

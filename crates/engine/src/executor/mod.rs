@@ -65,8 +65,8 @@ struct Inner {
     device_id: usize,
     spec: DeviceSpec,
     timeline: Timeline,
-    bytes_allocated: AtomicI64,
-    peak_bytes: AtomicU64,
+    bytes_allocated: AtomicI64, // atomic: counter
+    peak_bytes: AtomicU64, // atomic: counter
     /// Lazily-spawned persistent worker pool; `None` once initialized means
     /// the executor is functionally single-threaded.
     pool: OnceLock<Option<WorkerPool>>,
@@ -75,10 +75,10 @@ struct Inner {
     /// The metrics registry enabled via [`Executor::enable_metrics`], if
     /// any. Kept here (in addition to its logger attachment) so snapshots
     /// can be read back without holding onto the `Arc` at the call site.
-    metrics: Mutex<Option<Arc<MetricsRegistry>>>,
+    metrics: Mutex<Option<Arc<MetricsRegistry>>>, // lock: exec.metrics
     /// The flight recorder enabled via [`Executor::enable_flight_recorder`],
     /// if any (kept here, like `metrics`, so reports can be read back).
-    flight: Mutex<Option<Arc<FlightRecorder>>>,
+    flight: Mutex<Option<Arc<FlightRecorder>>>, // lock: exec.flight
     /// Runtime sanitizer switch + counters, embedded (not boxed) so the
     /// disabled check in `parallel_chunks` is a single relaxed load.
     sanitizer: Sanitizer,
@@ -87,7 +87,7 @@ struct Inner {
     tracer: Tracer,
     /// The event hook attached while tracing is enabled (kept, like
     /// `metrics`, so disable/clear can detach it from the registry).
-    trace_hook: Mutex<Option<Arc<TraceHook>>>,
+    trace_hook: Mutex<Option<Arc<TraceHook>>>, // lock: exec.trace_hook
 }
 
 /// Non-owning executor handle held by the flight recorder, so the
@@ -345,29 +345,38 @@ impl Executor {
     /// aggregated; when no registry (or other logger) is attached the
     /// instrumented fast path still costs a single relaxed atomic load.
     pub fn enable_metrics(&self) -> Arc<MetricsRegistry> {
-        let mut slot = self
-            .0
-            .metrics
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        if let Some(existing) = slot.as_ref() {
-            return existing.clone();
-        }
-        let registry = Arc::new(MetricsRegistry::new());
+        let registry = {
+            let mut slot = self
+                .0
+                .metrics
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(existing) = slot.as_ref() {
+                return existing.clone();
+            }
+            let registry = Arc::new(MetricsRegistry::new());
+            *slot = Some(registry.clone());
+            registry
+        };
+        // Attach outside the slot lock: event delivery holds `log.loggers`
+        // and can call back into `Executor::metrics`, so holding the slot
+        // across `add` inverts the `log.loggers -> exec.metrics` order.
         self.0.loggers.add(registry.clone());
-        *slot = Some(registry.clone());
         registry
     }
 
     /// Detaches and drops the metrics registry, if one was enabled.
     pub fn disable_metrics(&self) {
-        let mut slot = self
+        let taken = self
             .0
             .metrics
             .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        if let Some(registry) = slot.take() {
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(registry) = taken {
             let as_logger: Arc<dyn Logger> = registry;
+            // Detach outside the slot lock (same inversion as
+            // `enable_metrics`).
             self.0.loggers.remove(&as_logger);
         }
     }
@@ -400,29 +409,37 @@ impl Executor {
     /// Like [`Executor::enable_flight_recorder`] with explicit detector
     /// thresholds (ignored if a recorder is already enabled).
     pub fn enable_flight_recorder_with(&self, config: DetectorConfig) -> Arc<FlightRecorder> {
-        let mut slot = self
-            .0
-            .flight
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        if let Some(existing) = slot.as_ref() {
-            return existing.clone();
-        }
-        let recorder = Arc::new(FlightRecorder::new(self.downgrade(), config));
+        let recorder = {
+            let mut slot = self
+                .0
+                .flight
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(existing) = slot.as_ref() {
+                return existing.clone();
+            }
+            let recorder = Arc::new(FlightRecorder::new(self.downgrade(), config));
+            *slot = Some(recorder.clone());
+            recorder
+        };
+        // Attach outside the slot lock: delivery holds `log.loggers` and
+        // the recorder's detectors read back through the executor.
         self.0.loggers.add(recorder.clone());
-        *slot = Some(recorder.clone());
         recorder
     }
 
     /// Detaches and drops the flight recorder, if one was enabled.
     pub fn disable_flight_recorder(&self) {
-        let mut slot = self
+        let taken = self
             .0
             .flight
             .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        if let Some(recorder) = slot.take() {
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(recorder) = taken {
             let as_logger: Arc<dyn Logger> = recorder;
+            // Detach outside the slot lock (same inversion as
+            // `enable_flight_recorder_with`).
             self.0.loggers.remove(&as_logger);
         }
     }
@@ -454,7 +471,7 @@ impl Executor {
     /// Like [`Executor::enable_tracing`] with the full policy knobs.
     pub fn enable_tracing_with(&self, config: TraceConfig) {
         self.enable_flight_recorder();
-        {
+        let hook = {
             let mut slot = self
                 .0
                 .trace_hook
@@ -462,9 +479,16 @@ impl Executor {
                 .unwrap_or_else(PoisonError::into_inner);
             if slot.is_none() {
                 let hook = Arc::new(TraceHook::new(self.downgrade()));
-                self.0.loggers.add(hook.clone());
-                *slot = Some(hook);
+                *slot = Some(hook.clone());
+                Some(hook)
+            } else {
+                None
             }
+        };
+        if let Some(hook) = hook {
+            // Attach outside the slot lock (same inversion as
+            // `enable_metrics`).
+            self.0.loggers.add(hook);
         }
         self.0.tracer.arm(config);
     }
@@ -473,13 +497,16 @@ impl Executor {
     /// abandoned, retained traces stay readable via [`Executor::tracer`].
     pub fn disable_tracing(&self) {
         self.0.tracer.disarm();
-        let mut slot = self
+        let taken = self
             .0
             .trace_hook
             .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        if let Some(hook) = slot.take() {
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(hook) = taken {
             let as_logger: Arc<dyn Logger> = hook;
+            // Detach outside the slot lock (same inversion as
+            // `enable_metrics`).
             self.0.loggers.remove(&as_logger);
         }
     }

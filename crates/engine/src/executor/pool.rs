@@ -116,9 +116,9 @@ pub fn lane_stats_since(now: &[LaneStats], earlier: &[LaneStats]) -> Vec<LaneSta
 #[repr(align(64))]
 #[derive(Default)]
 struct LaneCounters {
-    chunks: AtomicU64,
-    steals: AtomicU64,
-    busy_ns: AtomicU64,
+    chunks: AtomicU64,   // atomic: counter
+    steals: AtomicU64,   // atomic: counter
+    busy_ns: AtomicU64,  // atomic: counter
 }
 
 /// Lifetime-erased pointer to the job closure. Validity is guaranteed by
@@ -129,7 +129,7 @@ type TaskPtr = *const (dyn Fn(usize) + Sync);
 /// the owner *and* by thieves; an index is executed iff the fetched value is
 /// still below `end`, so every index in `[start, end)` runs exactly once.
 struct ChunkQueue {
-    next: AtomicUsize,
+    next: AtomicUsize, // atomic: counter
     end: usize,
 }
 
@@ -141,7 +141,7 @@ struct Job {
 
 /// Worker-visible pool state.
 struct Shared {
-    control: Mutex<Epoch>,
+    control: Mutex<Epoch>, // lock: pool.control
     work_ready: Condvar,
     work_done: Condvar,
     /// Written by the submitter strictly before the epoch bump, read by
@@ -149,17 +149,17 @@ struct Shared {
     /// only after `active` hits zero.
     job: UnsafeCell<Option<Job>>,
     /// Workers still executing the current job.
-    active: AtomicUsize,
-    shutdown: AtomicBool,
+    active: AtomicUsize, // atomic: flag
+    shutdown: AtomicBool, // atomic: flag
     /// First panic payload raised inside a chunk closure, re-raised on the
     /// submitting thread.
-    panic_slot: Mutex<Option<Box<dyn Any + Send>>>,
-    dispatches: AtomicU64,
-    chunks: AtomicU64,
-    steals: AtomicU64,
-    parks: AtomicU64,
-    unparks: AtomicU64,
-    dispatch_ns: AtomicU64,
+    panic_slot: Mutex<Option<Box<dyn Any + Send>>>, // lock: pool.panic_slot
+    dispatches: AtomicU64,  // atomic: counter
+    chunks: AtomicU64,      // atomic: counter
+    steals: AtomicU64,      // atomic: counter
+    parks: AtomicU64,       // atomic: counter
+    unparks: AtomicU64,     // atomic: counter
+    dispatch_ns: AtomicU64, // atomic: counter
     /// One padded counter block per lane, indexed by lane id.
     lanes: Vec<LaneCounters>,
 }
@@ -206,7 +206,7 @@ pub(crate) fn home_lane(chunk: usize, chunks: usize, lanes: usize) -> usize {
 pub struct WorkerPool {
     shared: Arc<Shared>,
     threads: usize,
-    submit: Mutex<()>,
+    submit: Mutex<()>, // lock: pool.submit
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -385,7 +385,7 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.shutdown.store(true, Ordering::Release);
         {
             let _epoch = self.shared.control.lock();
             self.shared.work_ready.notify_all();

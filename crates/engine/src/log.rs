@@ -243,8 +243,8 @@ pub trait Logger: Send + Sync {
 struct RegistryInner {
     /// Mirror of `loggers.len()` readable without the lock; instrumented
     /// hot paths check it with one relaxed load before building events.
-    count: AtomicUsize,
-    loggers: Mutex<Vec<Arc<dyn Logger>>>,
+    count: AtomicUsize, // atomic: flag
+    loggers: Mutex<Vec<Arc<dyn Logger>>>, // lock: log.loggers
 }
 
 /// A cheaply cloneable set of attached [`Logger`]s.
@@ -413,7 +413,7 @@ struct RecordState {
 /// counted in [`Record::dropped`].
 pub struct Record {
     capacity: usize,
-    state: Mutex<RecordState>,
+    state: Mutex<RecordState>, // lock: log.record.state
 }
 
 impl Default for Record {
@@ -495,7 +495,7 @@ impl Logger for Record {
 
 /// Human-readable line-per-event writer (Ginkgo's `log::Stream`).
 pub struct Stream {
-    out: Mutex<Box<dyn std::io::Write + Send>>,
+    out: Mutex<Box<dyn std::io::Write + Send>>, // lock: log.stream.out
 }
 
 impl Stream {
@@ -529,7 +529,7 @@ impl Logger for Stream {
 /// `logger_data()`).
 #[derive(Clone, Default)]
 pub struct SharedBuf {
-    bytes: Arc<Mutex<Vec<u8>>>,
+    bytes: Arc<Mutex<Vec<u8>>>, // lock: log.sharedbuf.bytes
 }
 
 impl SharedBuf {
@@ -632,7 +632,7 @@ struct ProfState {
 /// bookkeeping.
 #[derive(Default)]
 pub struct Profiler {
-    state: Mutex<ProfState>,
+    state: Mutex<ProfState>, // lock: log.profiler.state
 }
 
 impl Profiler {
@@ -716,6 +716,8 @@ impl Logger for Profiler {
                     // Pop the matching frame (defensive: leave a mismatched
                     // stack alone rather than mis-attributing time).
                     if stack.last().is_some_and(|f| f.op == op) {
+                        // lint: allow(panic): guarded by the `last()` check
+                        // on the line above — the stack is non-empty here.
                         let frame = stack.pop().expect("frame present");
                         self_wall = wall_ns.saturating_sub(frame.child_wall_ns);
                         self_virtual = virtual_ns.saturating_sub(frame.child_virtual_ns);
@@ -820,7 +822,7 @@ struct ConvergenceInner {
 /// some worker must not turn every later logger read into a second panic.
 #[derive(Clone)]
 pub struct ConvergenceLogger {
-    inner: Arc<Mutex<ConvergenceInner>>,
+    inner: Arc<Mutex<ConvergenceInner>>, // lock: log.conv.inner
 }
 
 impl fmt::Debug for ConvergenceLogger {

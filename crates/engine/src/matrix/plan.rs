@@ -327,9 +327,9 @@ impl PlanCacheStats {
 /// [`PlanCache::invalidate`] explicitly.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    slot: Mutex<Option<Arc<SpmvPlan>>>,
-    builds: AtomicU64,
-    hits: AtomicU64,
+    slot: Mutex<Option<Arc<SpmvPlan>>>, // lock: plan.slot
+    builds: AtomicU64,                  // atomic: counter
+    hits: AtomicU64,                    // atomic: counter
 }
 
 /// Cloning a matrix must not share plan state: the clone starts with an

@@ -45,6 +45,7 @@ pub const METRIC_SHARDS: usize = 8;
 /// One cache line holding one shard's counter.
 #[repr(align(64))]
 #[derive(Default)]
+// atomic: counter
 struct PaddedU64(AtomicU64);
 
 thread_local! {
@@ -54,6 +55,7 @@ thread_local! {
 }
 
 fn thread_shard() -> usize {
+    // atomic: counter
     static NEXT: AtomicUsize = AtomicUsize::new(0);
     THREAD_SHARD.with(|cell| {
         let mut v = cell.get();
@@ -136,8 +138,8 @@ pub fn bucket_upper_bound(i: usize) -> u64 {
 }
 
 struct HistShard {
-    counts: [AtomicU64; HISTOGRAM_BUCKETS],
-    sum: AtomicU64,
+    counts: [AtomicU64; HISTOGRAM_BUCKETS], // atomic: counter
+    sum: AtomicU64,                         // atomic: counter
 }
 
 impl Default for HistShard {
@@ -158,7 +160,7 @@ impl Default for HistShard {
 #[derive(Default)]
 pub struct LatencyHistogram {
     shards: [HistShard; METRIC_SHARDS],
-    max: AtomicU64,
+    max: AtomicU64, // atomic: counter
 }
 
 impl LatencyHistogram {
@@ -297,7 +299,7 @@ struct TraceState {
 struct Trace {
     epoch: Instant,
     capacity: usize,
-    state: Mutex<TraceState>,
+    state: Mutex<TraceState>, // lock: metrics.trace.state
 }
 
 impl Trace {
@@ -355,6 +357,8 @@ impl Trace {
             // Defensive: only pop a frame that matches; an unpaired
             // completion synthesizes its start from the event's duration.
             Some(stack) if stack.last().is_some_and(|f| f.op == op) => {
+                // lint: allow(panic): guarded by the `last()` check in the
+                // match arm — the stack is non-empty here.
                 stack.pop().expect("frame present").start_ns
             }
             _ => now.saturating_sub(wall_ns),
@@ -414,8 +418,8 @@ struct KernelMetrics {
 /// write lock once) and trace-span bookkeeping (a short mutex, only when
 /// tracing is enabled).
 pub struct MetricsRegistry {
-    kernels: RwLock<BTreeMap<&'static str, Arc<KernelMetrics>>>,
-    solver_iterations: RwLock<BTreeMap<&'static str, Arc<ShardedCounter>>>,
+    kernels: RwLock<BTreeMap<&'static str, Arc<KernelMetrics>>>, // lock: metrics.kernels
+    solver_iterations: RwLock<BTreeMap<&'static str, Arc<ShardedCounter>>>, // lock: metrics.solver-iters
     pool_dispatch_ns: LatencyHistogram,
     alloc_bytes: LatencyHistogram,
     solves: ShardedCounter,
@@ -424,7 +428,7 @@ pub struct MetricsRegistry {
     events: ShardedCounter,
     /// Anomalies reported by the flight recorder (or any other detector),
     /// keyed by anomaly kind.
-    anomalies: RwLock<BTreeMap<&'static str, Arc<ShardedCounter>>>,
+    anomalies: RwLock<BTreeMap<&'static str, Arc<ShardedCounter>>>, // lock: metrics.anomalies
     trace: Option<Trace>,
 }
 

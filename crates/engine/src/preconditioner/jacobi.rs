@@ -125,6 +125,8 @@ impl<V: Value> LinOp<V> for Jacobi<V> {
             )]);
             return Ok(());
         }
+        // lint: allow(panic): construction guarantees exactly one of
+        // `inv_diag` / `blocks` is set, and the `inv_diag` arm returned.
         let blocks = self.blocks.as_ref().expect("either scalar or block");
         let mut start = 0usize;
         for lu in blocks {

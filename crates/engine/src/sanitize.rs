@@ -55,7 +55,7 @@ use std::sync::Mutex;
 /// uncontended; the cross-lane view is only assembled by [`ClaimLog::verify`]
 /// after the drain, when all lanes are quiescent.
 pub struct ClaimLog {
-    lanes: Vec<Mutex<Vec<usize>>>,
+    lanes: Vec<Mutex<Vec<usize>>>, // lock: sanitize.lanes
 }
 
 /// The ways a recorded claim set can fail to partition `0..n_pieces`.
@@ -188,6 +188,8 @@ impl ClaimLog {
 /// continuing is not an option and the error cannot be deferred to a
 /// `Result` the kernel has no channel for.
 pub(crate) fn report_claim_violation(v: &ClaimViolation) -> ! {
+    // lint: allow(panic): a tripped overlap detector means aliasing `&mut`
+    // slices; aborting the apply is the sanitizer's contract.
     panic!("sanitizer: chunk-overlap detector tripped: {v}");
 }
 
@@ -323,6 +325,8 @@ pub fn verify_merge_segments<I: crate::base::types::Index>(
 /// writes could alias (or nonzeros could be dropped/double-counted), so the
 /// failure is a panic for the same reason [`report_claim_violation`] is.
 pub(crate) fn report_merge_violation(v: &MergeViolation) -> ! {
+    // lint: allow(panic): a broken segment partition would alias interior
+    // writes; aborting the apply is the sanitizer's contract.
     panic!("sanitizer: merge-path segment validator tripped: {v}");
 }
 
@@ -337,9 +341,9 @@ pub(crate) fn report_merge_violation(v: &MergeViolation) -> ! {
 /// registry keeps instrumented kernels free when nobody listens.
 #[derive(Debug, Default)]
 pub struct Sanitizer {
-    enabled: AtomicBool,
-    jobs_checked: AtomicU64,
-    pieces_checked: AtomicU64,
+    enabled: AtomicBool,       // atomic: flag
+    jobs_checked: AtomicU64,   // atomic: counter
+    pieces_checked: AtomicU64, // atomic: counter
 }
 
 /// Snapshot of a [`Sanitizer`]'s counters.
@@ -364,7 +368,7 @@ impl Sanitizer {
     }
 
     pub(crate) fn set_enabled(&self, on: bool) {
-        self.enabled.store(on, Ordering::Relaxed);
+        self.enabled.store(on, Ordering::Release);
     }
 
     /// Credits one verified job.

@@ -41,7 +41,7 @@ const IO_TIMEOUT: Duration = Duration::from_secs(2);
 /// the handle stops the server.
 pub struct TelemetryServer {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>, // atomic: flag
     handle: Option<std::thread::JoinHandle<()>>,
 }
 

@@ -531,8 +531,8 @@ pub struct FlightRecorder {
     exec: WeakExecutor,
     config: DetectorConfig,
     /// Events observed, for inert-path regression tests.
-    events: AtomicU64,
-    state: Mutex<RecorderState>,
+    events: AtomicU64, // atomic: counter
+    state: Mutex<RecorderState>, // lock: recorder.state
 }
 
 impl std::fmt::Debug for FlightRecorder {
@@ -657,6 +657,11 @@ impl FlightRecorder {
         // (lock-free of ours) when it judges the finished trace, so neither
         // side may hold both locks at once.
         let trace_id = exec.as_ref().and_then(|e| e.tracer().active_trace_id());
+        // Same rule for the metrics registry: `Executor::metrics` takes the
+        // executor's `exec.metrics` slot lock, and enabling/disabling locks
+        // that slot around logger-registry traffic that ends up back here —
+        // so fetch the handle before taking `recorder.state`.
+        let registry = exec.as_ref().and_then(|e| e.metrics());
         let mut state = self.state();
         let current = std::mem::take(&mut state.current);
         let lanes = lane_stats_since(&lanes_now, &state.lane_mark);
@@ -756,11 +761,10 @@ impl FlightRecorder {
         while state.reports.len() >= capacity {
             state.reports.pop_front();
         }
-        // Forward anomaly counts into the executor's metrics registry
-        // outside our own lock? The registry's counters are lock-free, so
-        // nesting here is deadlock-safe and keeps the counts atomic with
-        // the report push.
-        if let Some(registry) = exec.as_ref().and_then(|e| e.metrics()) {
+        // Forward anomaly counts into the executor's metrics registry.
+        // The registry's counters are lock-free, so recording under our own
+        // lock is fine — only the slot-lock *lookup* had to happen earlier.
+        if let Some(registry) = registry {
             for a in &report.anomalies {
                 registry.record_anomaly(a.kind());
             }

@@ -367,13 +367,13 @@ struct FinishedTrace {
 /// the sanitizer): probing it costs one relaxed atomic load when inert.
 pub struct Tracer {
     /// Tracing enabled (armed) at all.
-    armed: AtomicBool,
+    armed: AtomicBool, // atomic: flag
     /// A trace is currently assembling — the only flag the pool fast path
     /// reads.
-    active: AtomicBool,
+    active: AtomicBool, // atomic: flag
     /// Healthy traces dropped by tail sampling (`gko_trace_drops_total`).
-    drops: AtomicU64,
-    state: Mutex<TracerState>,
+    drops: AtomicU64, // atomic: counter
+    state: Mutex<TracerState>, // lock: tracer.state
 }
 
 impl std::fmt::Debug for Tracer {
@@ -442,14 +442,14 @@ impl Tracer {
         while s.store.ring.len() > cap {
             s.store.ring.pop_front();
         }
-        self.armed.store(true, Ordering::Relaxed);
+        self.armed.store(true, Ordering::Release);
     }
 
     /// Disarms tracing; an in-flight trace is abandoned (not counted as a
     /// sampling drop). Retained traces stay readable.
     pub(crate) fn disarm(&self) {
-        self.armed.store(false, Ordering::Relaxed);
-        self.active.store(false, Ordering::Relaxed);
+        self.armed.store(false, Ordering::Release);
+        self.active.store(false, Ordering::Release);
         self.state().current = None;
     }
 
@@ -605,7 +605,7 @@ impl Tracer {
                     stop_reason: String::new(),
                     truncated: 0,
                 });
-                self.active.store(true, Ordering::Relaxed);
+                self.active.store(true, Ordering::Release);
             }
             Some(t) => {
                 if t.owner != tid {
@@ -680,7 +680,7 @@ impl Tracer {
         }
         // Root closed: detach the trace and judge it outside the lock.
         let t = st.current.take()?;
-        self.active.store(false, Ordering::Relaxed);
+        self.active.store(false, Ordering::Release);
         st.truncated_total += t.truncated;
         let duration_ns = now.saturating_sub(t.start_ns);
         Some(FinishedTrace {
@@ -928,7 +928,7 @@ struct ChunkRec {
 #[repr(align(64))]
 #[derive(Default)]
 struct LaneChunkBuf {
-    recs: Mutex<Vec<ChunkRec>>,
+    recs: Mutex<Vec<ChunkRec>>, // lock: trace.chunkbuf.recs
 }
 
 /// Live handle for one traced pool dispatch: carries the propagated

@@ -196,6 +196,8 @@ impl DeviceSpec {
             .map(|_| Reverse(Load(0.0)))
             .collect();
         for c in chunks {
+            // lint: allow(panic): `active >= 1` seeds the heap, and every
+            // pop is followed by a push — it can never be empty here.
             let Reverse(Load(load)) = heap.pop().expect("heap is never empty");
             heap.push(Reverse(Load(load + self.chunk_ns(c))));
         }

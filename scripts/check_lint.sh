@@ -44,4 +44,70 @@ case "$OUT" in
 esac
 rm -f "$INJECT"
 
-echo "check_lint: tree clean; gate catches injected violation (self-test OK)"
+# 4. End-to-end lock-order test: two annotated mutexes acquired in opposite
+#    orders by two functions form a cycle in the lock-acquisition-order
+#    graph; the gate must refuse the tree and print the offending chain.
+cat > "$INJECT" <<'EOF'
+// Scratch file written by scripts/check_lint.sh; deleted on exit.
+use std::sync::Mutex;
+pub struct Injected {
+    a: Mutex<u32>, // lock: injected.a
+    b: Mutex<u32>, // lock: injected.b
+}
+impl Injected {
+    pub fn ab(&self) {
+        let g = self.a.lock().unwrap_or_default();
+        let h = self.b.lock().unwrap_or_default();
+        let _ = (g, h);
+    }
+    pub fn ba(&self) {
+        let g = self.b.lock().unwrap_or_default();
+        let h = self.a.lock().unwrap_or_default();
+        let _ = (g, h);
+    }
+}
+EOF
+if OUT=$(./target/release/lint_gate 2>&1); then
+    echo "check_lint: FAIL — gate accepted an injected lock-order cycle" >&2
+    exit 1
+fi
+case "$OUT" in
+*"[lock-order]"*"lock-order cycle"*"lint_selftest_injected.rs"*) ;;
+*)
+    echo "check_lint: FAIL — no lock-order cycle diagnostic naming the injected file" >&2
+    echo "$OUT" >&2
+    exit 1
+    ;;
+esac
+rm -f "$INJECT"
+
+# 5. End-to-end atomic-ordering test: a Relaxed store to an atomic declared
+#    as a flag publishes without Release ordering; the gate must refuse the
+#    tree naming the injected store's file:line.
+cat > "$INJECT" <<'EOF'
+// Scratch file written by scripts/check_lint.sh; deleted on exit.
+use std::sync::atomic::{AtomicBool, Ordering};
+pub struct Injected {
+    ready: AtomicBool, // atomic: flag
+}
+impl Injected {
+    pub fn publish(&self) {
+        self.ready.store(true, Ordering::Relaxed);
+    }
+}
+EOF
+if OUT=$(./target/release/lint_gate 2>&1); then
+    echo "check_lint: FAIL — gate accepted an injected Relaxed flag publish" >&2
+    exit 1
+fi
+case "$OUT" in
+*"lint_selftest_injected.rs:8"*"[atomic-ordering]"*) ;;
+*)
+    echo "check_lint: FAIL — no atomic-ordering diagnostic naming the injected file:line" >&2
+    echo "$OUT" >&2
+    exit 1
+    ;;
+esac
+rm -f "$INJECT"
+
+echo "check_lint: tree clean; gate catches injected unwrap, lock-order cycle, and Relaxed flag publish (self-test OK)"
