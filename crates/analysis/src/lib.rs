@@ -117,6 +117,7 @@ pub(crate) const PANIC_FREE_DIRS: &[&str] = &[
     "crates/engine/src/executor/",
     "crates/engine/src/telemetry/",
     "crates/engine/src/trace.rs",
+    "crates/engine/src/profile.rs",
 ];
 
 /// Directories where `apply`/SpMV entry points must be instrumented.
@@ -125,6 +126,7 @@ const INSTRUMENTED_DIRS: &[&str] = &[
     "crates/engine/src/solver/",
     "crates/engine/src/telemetry/",
     "crates/engine/src/trace.rs",
+    "crates/engine/src/profile.rs",
 ];
 
 /// Files/trees allowed to read wall clocks or touch `std::process`: the

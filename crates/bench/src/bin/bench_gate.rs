@@ -25,6 +25,14 @@
 //! detector is not a clean benchmark run. Baselines written before that
 //! field existed stay comparable (only candidate values are inspected).
 //!
+//! When any row regresses and both sides carry a folded flame profile
+//! (the candidate's `profiles_folded` section and the committed
+//! `results/BASELINE_profile.json`), the gate performs differential
+//! attribution: per-span-path self-time deltas, ranked, the top 3 printed
+//! as `ATTRIBUTED <path> +41%` lines — naming the offending code path
+//! instead of leaving a bare ratio. Attribution is advisory (wall-clock
+//! self times are noisy); it never changes the exit code by itself.
+//!
 //! Environment knobs:
 //!
 //! * `BENCH_GATE_TOLERANCE` — allowed slowdown ratio (default 1.25). The
@@ -39,9 +47,14 @@
 //! * `BENCH_GATE_INJECT` — multiplies every candidate timing, simulating a
 //!   uniform slowdown. `BENCH_GATE_INJECT=2.0` must make the gate fail —
 //!   `scripts/check_bench.sh` uses this as a self-test of the gate itself.
+//! * `PROFILE_INJECT` — multiplies the candidate's folded-profile self
+//!   time by 100 for every span path containing the given substring,
+//!   simulating one kernel going 100x slow. `PROFILE_INJECT=csr` must
+//!   surface a csr path as the top attributed regression —
+//!   `scripts/check_profile.sh` uses this as a self-test of attribution.
 //!
-//! Usage: `bench_gate [baseline.json [candidate.json]]` (both default to
-//! the `results/` directory).
+//! Usage: `bench_gate [baseline.json [candidate.json [baseline_profile.json]]]`
+//! (all default to the `results/` directory).
 
 use gko::config::Config;
 use pygko_bench::results_dir;
@@ -154,7 +167,9 @@ fn flatten(doc: &Config) -> Vec<(String, &'static str, f64)> {
         for metric in [
             "inert_wall_ns_per_iter",
             "armed_wall_ns_per_iter",
+            "profiled_wall_ns_per_iter",
             "armed_over_inert",
+            "profiled_over_inert",
         ] {
             if let Some(v) = t.get(metric).and_then(Config::as_float) {
                 rows.push((key.clone(), metric, v));
@@ -165,12 +180,66 @@ fn flatten(doc: &Config) -> Vec<(String, &'static str, f64)> {
 }
 
 /// True for rows compared under `BENCH_GATE_TRACE_TOLERANCE` instead of the
-/// main band: the wall-clock trace-overhead figures.
+/// main band: the wall-clock trace/profile-overhead figures.
 fn is_trace_metric(metric: &str) -> bool {
     matches!(
         metric,
-        "inert_wall_ns_per_iter" | "armed_wall_ns_per_iter" | "armed_over_inert"
+        "inert_wall_ns_per_iter"
+            | "armed_wall_ns_per_iter"
+            | "profiled_wall_ns_per_iter"
+            | "armed_over_inert"
+            | "profiled_over_inert"
     )
+}
+
+/// Extracts a document's folded flame profile as `(path, self_wall_ns)`
+/// rows, or an empty list when the section is absent.
+fn folded_paths(doc: &Config) -> Vec<(String, f64)> {
+    let Some(Config::Map(paths)) = doc
+        .get("profiles_folded")
+        .and_then(|p| p.get("paths"))
+    else {
+        return Vec::new();
+    };
+    paths
+        .iter()
+        .filter_map(|(path, v)| v.as_float().map(|ns| (path.clone(), ns)))
+        .collect()
+}
+
+/// Differential attribution: per-path self-time growth of the candidate
+/// profile over the baseline profile, worst first. Paths new in the
+/// candidate rank by absolute self time (no baseline to divide by); paths
+/// that vanished are ignored — a kernel that stopped running cannot be the
+/// regression.
+fn attribute(base: &[(String, f64)], cand: &[(String, f64)]) -> Vec<(String, f64, f64, f64)> {
+    let mut rows: Vec<(String, f64, f64, f64)> = cand
+        .iter()
+        .map(|(path, c)| {
+            let b = base
+                .iter()
+                .find(|(p, _)| p == path)
+                .map(|&(_, v)| v)
+                .unwrap_or(0.0);
+            let delta_pct = if b > 0.0 {
+                (c - b) / b * 100.0
+            } else {
+                f64::INFINITY
+            };
+            (path.clone(), b, *c, delta_pct)
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.3.partial_cmp(&a.3)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| {
+                (b.2 - b.1)
+                    .partial_cmp(&(a.2 - a.1))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    rows
 }
 
 fn main() {
@@ -183,9 +252,14 @@ fn main() {
         .get(2)
         .map(PathBuf::from)
         .unwrap_or_else(|| results_dir().join("BENCH_spmv.json"));
+    let profile_baseline_path = args
+        .get(3)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("BASELINE_profile.json"));
     let tolerance = env_f64("BENCH_GATE_TOLERANCE", 1.25);
     let trace_tolerance = env_f64("BENCH_GATE_TRACE_TOLERANCE", 5.0);
     let inject = env_f64("BENCH_GATE_INJECT", 1.0);
+    let profile_inject = std::env::var("PROFILE_INJECT").ok();
 
     println!(
         "bench_gate: {} vs {} (tolerance {tolerance}x, trace {trace_tolerance}x{})",
@@ -298,6 +372,50 @@ fn main() {
     for a in &anomalous {
         eprintln!("  ANOMALOUS {a}");
     }
+
+    // Differential attribution: once something regressed, name the span
+    // paths whose self time grew the most. Advisory only — wall-clock self
+    // times are noisy, so attribution ranks but never gates.
+    if !regressions.is_empty() || !missing.is_empty() {
+        let base_profile = std::fs::read_to_string(&profile_baseline_path)
+            .ok()
+            .and_then(|t| Config::from_json(&t).ok())
+            .map(|doc| folded_paths(&doc))
+            .unwrap_or_default();
+        let mut cand_profile = folded_paths(&candidate_doc);
+        if let Some(needle) = &profile_inject {
+            for (path, ns) in cand_profile.iter_mut() {
+                if path.contains(needle.as_str()) {
+                    *ns *= 100.0;
+                }
+            }
+        }
+        if base_profile.is_empty() || cand_profile.is_empty() {
+            eprintln!(
+                "  (no differential attribution: profile baseline {} or candidate \
+                 profiles_folded section missing)",
+                profile_baseline_path.display()
+            );
+        } else {
+            eprintln!("  top regressed span paths (self-time vs profile baseline):");
+            for (path, base_ns, cand_ns, delta_pct) in
+                attribute(&base_profile, &cand_profile).into_iter().take(3)
+            {
+                if delta_pct.is_finite() {
+                    eprintln!(
+                        "  ATTRIBUTED {path} {}{:.0}% ({:.3e} -> {:.3e} ns)",
+                        if delta_pct >= 0.0 { "+" } else { "" },
+                        delta_pct,
+                        base_ns,
+                        cand_ns
+                    );
+                } else {
+                    eprintln!("  ATTRIBUTED {path} new ({cand_ns:.3e} ns, no baseline)");
+                }
+            }
+        }
+    }
+
     if !missing.is_empty() || !regressions.is_empty() || !anomalous.is_empty() {
         std::process::exit(1);
     }

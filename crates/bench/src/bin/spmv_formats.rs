@@ -416,21 +416,54 @@ fn main() {
     );
     assert!(span_counts[4].1 > 0, "pooled solve opened dispatch spans");
     assert!(span_counts[5].1 > 0, "dispatches recorded chunk spans");
+
+    // Continuous profiler on top of armed tracing: the same fixed-work
+    // solve with every finished span tree folded into the flame aggregate.
+    // The fold runs off the solve's critical path only in the sense that it
+    // is one pass per completed trace, so its cost rides the same tolerance
+    // band as armed tracing.
+    tr_exec.enable_profiling();
+    let profiled_ns = min_of(&tr_exec, 3);
+    let prof = tr_exec.profile_snapshot();
+    assert!(prof.solves >= 4, "warm-up + 3 timed solves folded: {}", prof.solves);
+    assert!(!prof.nodes.is_empty(), "profiled solve built a flame tree");
+    let root = &prof.nodes[0];
+    assert_eq!(root.depth, 0, "first flattened node is a root");
+    assert_eq!(root.kind, "solve", "flame tree is rooted at the solve span");
+    assert!(
+        prof.nodes.iter().any(|n| n.path.contains("csr")),
+        "csr kernel spans surface as flame paths"
+    );
+    assert!(
+        prof.nodes.len() <= prof.max_nodes,
+        "flame store respects its node cap"
+    );
+    tr_exec.disable_profiling();
     tr_exec.disable_tracing();
     let inert_ns_per_iter = inert_ns as f64 / tr_iters as f64;
     let armed_ns_per_iter = armed_ns as f64 / tr_iters as f64;
+    let profiled_ns_per_iter = profiled_ns as f64 / tr_iters as f64;
     let armed_over_inert = if inert_ns == 0 {
         0.0
     } else {
         armed_ns as f64 / inert_ns as f64
     };
+    let profiled_over_inert = if inert_ns == 0 {
+        0.0
+    } else {
+        profiled_ns as f64 / inert_ns as f64
+    };
     println!(
         "\ntrace overhead ({poisson_name}, csr/classical, omp16, {tr_iters} fixed iterations):\n  \
-         inert {:.1} us/iter | armed {:.1} us/iter | armed/inert {:.2}x | {} spans",
+         inert {:.1} us/iter | armed {:.1} us/iter | profiled {:.1} us/iter | \
+         armed/inert {:.2}x | profiled/inert {:.2}x | {} spans | {} flame nodes",
         inert_ns_per_iter / 1e3,
         armed_ns_per_iter / 1e3,
+        profiled_ns_per_iter / 1e3,
         armed_over_inert,
-        trace.spans.len()
+        profiled_over_inert,
+        trace.spans.len(),
+        prof.nodes.len()
     );
 
     // Per-kernel profiler aggregates for the widest parallel executor.
@@ -575,22 +608,48 @@ fn main() {
         .with("iterations", tr_iters)
         .with("inert_wall_ns_per_iter", inert_ns_per_iter)
         .with("armed_wall_ns_per_iter", armed_ns_per_iter)
+        .with("profiled_wall_ns_per_iter", profiled_ns_per_iter)
         .with("armed_over_inert", armed_over_inert)
+        .with("profiled_over_inert", profiled_over_inert)
         .with("spans_total", trace.spans.len() as i64)
         .with("span_counts", span_counts_json);
+    // Folded flame profile of the profiled fixed-work solve: one
+    // `path -> self_wall_ns` entry per flame node. Self times are wall
+    // clock (run-to-run noisy), so bench_gate never gates on them — it
+    // reads them only for differential attribution once a gated row has
+    // already regressed.
+    let profile_paths = prof
+        .nodes
+        .iter()
+        .fold(Config::map(), |c, n| c.with(n.path.as_str(), n.self_wall_ns as i64));
+    let profiles_folded_json = Config::map()
+        .with("matrix", poisson_name.as_str())
+        .with("format", "csr")
+        .with("strategy", "classical")
+        .with("executor", "omp16")
+        .with("solves", prof.solves as i64)
+        .with("paths", profile_paths);
     let doc = Config::map()
         .with("records", record_json)
         .with("profiles", profile_json)
         .with("metrics", metrics_json)
         .with("plan_ablation", plan_ablation_json)
         .with("batched", batched_json)
-        .with("trace_overhead", trace_overhead_json);
+        .with("trace_overhead", trace_overhead_json)
+        .with("profiles_folded", profiles_folded_json.clone());
 
     let dir = results_dir();
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join("BENCH_spmv.json");
     std::fs::write(&path, gko::config::json::to_string_pretty(&doc)).expect("write json");
     println!("\nwrote {}", path.display());
+    // Standalone copy for the committed profile baseline: refresh with
+    //   cp results/BENCH_profile.json results/BASELINE_profile.json
+    let profile_doc = Config::map().with("profiles_folded", profiles_folded_json);
+    let profile_path = dir.join("BENCH_profile.json");
+    std::fs::write(&profile_path, gko::config::json::to_string_pretty(&profile_doc))
+        .expect("write profile json");
+    println!("wrote {}", profile_path.display());
 
     // Headline check: parallel CSR and COO beat the serial reference by 2x.
     for format in ["csr", "coo"] {

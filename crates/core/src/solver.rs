@@ -44,6 +44,9 @@ struct AttachedLoggers {
     /// Span tracing armed via [`Solver::with_tracing`]; the tracer itself
     /// lives on the device executor.
     traced: bool,
+    /// Continuous profiling armed via [`Solver::with_profiling`]; the flame
+    /// store lives on the device executor.
+    profiled: bool,
 }
 
 /// A ready-to-apply solver bound to a device.
@@ -282,6 +285,34 @@ impl Solver {
             .traced
             .then(|| self.device.executor().tracer().latest())
             .flatten()
+    }
+
+    /// Arms continuous profiling on this solver's device executor — the
+    /// facade over [`gko::Executor::enable_profiling`].
+    ///
+    /// Every subsequent solve's span tree (sampled out by the trace store
+    /// or not) is folded into a bounded, windowed flame aggregate keyed by
+    /// span path: call counts, wall/virtual self- and total-time, per-lane
+    /// attribution, and p50/p99 per path. Arms span tracing implicitly when
+    /// it is not already live (the profiler consumes the span stream).
+    /// Unlike the per-solve `with_logger("profile")` event profiler, this
+    /// aggregates *across* solves. Read the aggregate back with
+    /// [`Solver::profile`], or serve it live via `GET /profile` (and
+    /// `GET /profile?format=folded` / `GET /profile/diff?base=<name>`) on
+    /// [`gko::Executor::serve_telemetry`].
+    pub fn with_profiling(mut self) -> Self {
+        self.device.executor().enable_profiling();
+        self.attached.profiled = true;
+        self
+    }
+
+    /// Flattened snapshot of the continuous profiler's live flame window,
+    /// or `None` when profiling was never armed via
+    /// [`Solver::with_profiling`].
+    pub fn profile(&self) -> Option<gko::ProfileSnapshot> {
+        self.attached
+            .profiled
+            .then(|| self.device.executor().profile_snapshot())
     }
 
     /// Counters from the device executor's chunk-overlap detector: how many

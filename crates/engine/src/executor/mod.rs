@@ -19,6 +19,7 @@ pub mod pool;
 use crate::base::error::Result;
 use crate::log::{Event, Logger, LoggerRegistry};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::profile::{ProfileConfig, ProfileSnapshot, ProfileStore};
 use crate::sanitize::{Sanitizer, SanitizerReport};
 use crate::telemetry::{DetectorConfig, FlightRecorder, TelemetryServer};
 use crate::trace::{TraceConfig, TraceHook, Tracer};
@@ -88,6 +89,12 @@ struct Inner {
     /// The event hook attached while tracing is enabled (kept, like
     /// `metrics`, so disable/clear can detach it from the registry).
     trace_hook: Mutex<Option<Arc<TraceHook>>>, // lock: exec.trace_hook
+    /// Continuous profiler folding finished span trees into flame
+    /// aggregates, embedded like the sanitizer so the per-trace probe is a
+    /// single relaxed load while profiling is disarmed.
+    profile: ProfileStore,
+    /// Construction instant, the epoch for the `gko_uptime_seconds` gauge.
+    start: std::time::Instant,
 }
 
 /// Non-owning executor handle held by the flight recorder, so the
@@ -127,6 +134,10 @@ impl Executor {
             sanitizer: Sanitizer::new(),
             tracer: Tracer::new(),
             trace_hook: Mutex::new(None),
+            profile: ProfileStore::new(),
+            // lint: allow(forbidden-api): uptime gauge epoch — wall-clock
+            // construction instant, not simulated kernel time.
+            start: std::time::Instant::now(),
         }))
     }
 
@@ -514,6 +525,55 @@ impl Executor {
     /// The executor's span tracer (switch, store, and counters).
     pub fn tracer(&self) -> &Tracer {
         &self.0.tracer
+    }
+
+    /// Enables continuous profiling with the default window and node cap:
+    /// every finished span tree (sampled out or not) is folded into an
+    /// aggregated flame profile keyed by span path, readable via
+    /// [`Executor::profile_snapshot`] and the `/profile` endpoints. Tracing
+    /// must be live for spans to exist, so this arms the tracer with
+    /// [`TraceConfig::default`] if it is not armed already. Idempotent;
+    /// re-enabling updates the profiler policy without clearing aggregates.
+    pub fn enable_profiling(&self) {
+        self.enable_profiling_with(ProfileConfig::default());
+    }
+
+    /// Like [`Executor::enable_profiling`] with explicit policy knobs.
+    pub fn enable_profiling_with(&self, config: ProfileConfig) {
+        if !self.0.tracer.is_armed() {
+            self.enable_tracing_with(TraceConfig::default());
+        }
+        self.0.profile.arm(config);
+    }
+
+    /// Disarms the profiler; aggregated windows stay readable and tracing
+    /// (if it was armed) stays armed.
+    pub fn disable_profiling(&self) {
+        self.0.profile.disarm();
+    }
+
+    /// The executor's continuous profiler (switch, flame store, counters).
+    pub fn profile(&self) -> &ProfileStore {
+        &self.0.profile
+    }
+
+    /// Flattened snapshot of the live profiling window (empty while nothing
+    /// has been folded).
+    pub fn profile_snapshot(&self) -> ProfileSnapshot {
+        self.0.profile.snapshot()
+    }
+
+    /// Commits the current live window as a named baseline for
+    /// `/profile/diff?base=<name>` comparisons, returning the committed
+    /// snapshot.
+    pub fn profile_commit_baseline(&self, name: &str) -> ProfileSnapshot {
+        self.0.profile.commit_baseline(name)
+    }
+
+    /// Real seconds since this executor was constructed (the
+    /// `gko_uptime_seconds` gauge). Wall clock, not the virtual timeline.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.0.start.elapsed().as_secs_f64()
     }
 
     /// Starts the telemetry HTTP exporter for this executor on `addr`

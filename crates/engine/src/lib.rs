@@ -31,6 +31,11 @@
 //! * **Causal span tracing** ([`trace`]): per-solve trace trees from the
 //!   solve root down to individual pool-lane chunks, tail-sampled into a
 //!   bounded store and served by the telemetry plane (`/traces`).
+//! * **Continuous profiling** ([`profile`]): always-on flame aggregation
+//!   over the span stream — windowed [`FlameNode`](profile) trees keyed by
+//!   span path with wall/virtual self-time, per-lane attribution, and
+//!   p50/p99 per path, served as JSON or folded stacks (`/profile`) and
+//!   diffed against named baselines (`/profile/diff`).
 //! * **The config solver** ([`config`], paper §5): a generic entry point that
 //!   builds arbitrary solver/preconditioner pipelines from a JSON-style
 //!   configuration tree, with a from-scratch JSON parser/serializer.
@@ -46,6 +51,7 @@ pub mod log;
 pub mod matrix;
 pub mod metrics;
 pub mod preconditioner;
+pub mod profile;
 pub mod sanitize;
 pub mod solver;
 pub mod stop;
@@ -60,6 +66,9 @@ pub use executor::pool::{LaneStats, PoolStats};
 pub use executor::Executor;
 pub use linop::LinOp;
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use profile::{
+    DiffRow, FlameStat, ProfileConfig, ProfileDiff, ProfileSnapshot, ProfileStore,
+};
 pub use sanitize::{ClaimLog, ClaimViolation, Sanitizer, SanitizerReport};
 pub use telemetry::{
     Anomaly, DetectorConfig, FlightRecorder, FlightReport, TelemetryServer,

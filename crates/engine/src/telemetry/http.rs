@@ -1,13 +1,15 @@
 //! Std-only HTTP exporter for the telemetry plane.
 //!
 //! A [`TelemetryServer`] owns a `std::net::TcpListener` drained by a
-//! blocking accept loop on a named thread (`gko-telemetry`). Five
-//! endpoints, all `GET`, all `Connection: close`:
+//! blocking accept loop on a named thread (`gko-telemetry`). Seven
+//! endpoints, all `GET` (with `HEAD` honored on every route: identical
+//! status and headers, no body), all `Connection: close`:
 //!
 //! * `/metrics` — Prometheus text exposition (registry snapshot + per-lane
-//!   pool utilization + flight-recorder and tracer gauges);
-//! * `/healthz` — executor/pool liveness and sanitizer/tracer arm state,
-//!   as JSON;
+//!   pool utilization + flight-recorder, tracer, profiler, and build/uptime
+//!   gauges);
+//! * `/healthz` — executor/pool liveness and sanitizer/tracer/profiler arm
+//!   state, as JSON;
 //! * `/runs` — the flight recorder's retained reports, newest first, as
 //!   JSON. `?limit=N` caps the count (default
 //!   [`DEFAULT_RUNS_LIMIT`](super::DEFAULT_RUNS_LIMIT)); reports carry a
@@ -15,7 +17,14 @@
 //! * `/traces` — index of the tail-sampled trace store (trace_id,
 //!   annotation, duration, anomaly kinds, retention reason);
 //! * `/traces/<id>` — one full span tree as JSON, or as a Chrome-trace
-//!   document with `?format=chrome`.
+//!   document with `?format=chrome`;
+//! * `/profile` — the continuous profiler's live flame aggregate as a
+//!   nested JSON tree, or as `flamegraph.pl`-compatible folded stacks with
+//!   `?format=folded` (one `path;path;... <self_wall_ns>` line per node);
+//! * `/profile/diff?base=<name>` — differential profile of the live window
+//!   against a baseline committed via
+//!   [`Executor::profile_commit_baseline`], rows ranked by self-time
+//!   regression.
 //!
 //! Requests are served sequentially — every response is a cheap immutable
 //! snapshot, so there is nothing to win by handing connections to a pool —
@@ -127,6 +136,7 @@ fn handle_connection(mut stream: TcpStream, exec: &Executor) -> std::io::Result<
                 "400 Bad Request",
                 "application/json",
                 "{\"error\": \"malformed request\"}\n",
+                false,
             );
             // An oversized request may still be streaming in: drain it
             // (bounded) before closing, otherwise the kernel turns the
@@ -149,12 +159,16 @@ fn handle_connection(mut stream: TcpStream, exec: &Executor) -> std::io::Result<
     let target = parts.next().unwrap_or("");
     // Ignore any query string: `/metrics?x=y` scrapes `/metrics`.
     let path = target.split('?').next().unwrap_or(target);
-    if method != "GET" {
+    // HEAD is GET minus the body: same routing, same status and headers
+    // (including the true Content-Length), body suppressed at write time.
+    let head_only = method == "HEAD";
+    if method != "GET" && !head_only {
         return respond(
             &mut stream,
             "405 Method Not Allowed",
             "application/json",
-            "{\"error\": \"only GET is supported\"}\n",
+            "{\"error\": \"only GET and HEAD are supported\"}\n",
+            false,
         );
     }
     let query = target.split_once('?').map(|(_, q)| q).unwrap_or("");
@@ -164,12 +178,14 @@ fn handle_connection(mut stream: TcpStream, exec: &Executor) -> std::io::Result<
             "200 OK",
             "text/plain; version=0.0.4; charset=utf-8",
             &super::render_prometheus(exec),
+            head_only,
         ),
         "/healthz" => respond(
             &mut stream,
             "200 OK",
             "application/json",
             &super::health_json(exec),
+            head_only,
         ),
         "/runs" => {
             let limit = query_param(query, "limit")
@@ -181,24 +197,82 @@ fn handle_connection(mut stream: TcpStream, exec: &Executor) -> std::io::Result<
                 .unwrap_or_else(|| {
                     "{\"reports\": [], \"total\": 0, \"returned\": 0}\n".to_string()
                 });
-            respond(&mut stream, "200 OK", "application/json", &body)
+            respond(&mut stream, "200 OK", "application/json", &body, head_only)
         }
         "/traces" => respond(
             &mut stream,
             "200 OK",
             "application/json",
             &exec.tracer().index_json(),
+            head_only,
         ),
+        "/profile" => {
+            let snap = exec.profile().snapshot();
+            if query_param(query, "format") == Some("folded") {
+                respond(
+                    &mut stream,
+                    "200 OK",
+                    "text/plain; charset=utf-8",
+                    &snap.folded(),
+                    head_only,
+                )
+            } else {
+                let body = crate::config::json::to_string_pretty(&snap.to_config());
+                respond(&mut stream, "200 OK", "application/json", &body, head_only)
+            }
+        }
+        "/profile/diff" => serve_profile_diff(&mut stream, exec, query, head_only),
         _ => match path.strip_prefix("/traces/") {
-            Some(id) => serve_trace(&mut stream, exec, id, query),
+            Some(id) => serve_trace(&mut stream, exec, id, query, head_only),
             None => respond(
                 &mut stream,
                 "404 Not Found",
                 "application/json",
-                "{\"error\": \"unknown path; try /metrics, /healthz, /runs, /traces\"}\n",
+                "{\"error\": \"unknown path; try /metrics, /healthz, /runs, /traces, /profile\"}\n",
+                head_only,
             ),
         },
     }
+}
+
+/// `GET /profile/diff?base=<name>`: per-path self-time and call-count
+/// deltas of the live profiling window against a committed baseline,
+/// ranked by regression.
+fn serve_profile_diff(
+    stream: &mut TcpStream,
+    exec: &Executor,
+    query: &str,
+    head_only: bool,
+) -> std::io::Result<()> {
+    let Some(base_name) = query_param(query, "base") else {
+        return respond(
+            stream,
+            "400 Bad Request",
+            "application/json",
+            "{\"error\": \"missing base parameter; use /profile/diff?base=<name>\"}\n",
+            head_only,
+        );
+    };
+    let Some(base) = exec.profile().baseline(base_name) else {
+        let names = exec
+            .profile()
+            .baseline_names()
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
+        return respond(
+            stream,
+            "404 Not Found",
+            "application/json",
+            &format!("{{\"error\": \"unknown baseline\", \"known\": [{names}]}}\n"),
+            head_only,
+        );
+    };
+    let current = exec.profile().snapshot();
+    let diff = crate::profile::diff(&base, &current);
+    let body = crate::config::json::to_string_pretty(&diff.to_config(base_name));
+    respond(stream, "200 OK", "application/json", &body, head_only)
 }
 
 /// `GET /traces/<id>`: the full span tree of one retained trace, as JSON or
@@ -208,6 +282,7 @@ fn serve_trace(
     exec: &Executor,
     id: &str,
     query: &str,
+    head_only: bool,
 ) -> std::io::Result<()> {
     let report = id.parse::<u64>().ok().and_then(|id| exec.tracer().report(id));
     let Some(report) = report else {
@@ -216,6 +291,7 @@ fn serve_trace(
             "404 Not Found",
             "application/json",
             "{\"error\": \"unknown trace id (dropped by sampling, evicted, or never assigned)\"}\n",
+            head_only,
         );
     };
     if query_param(query, "format") == Some("chrome") {
@@ -224,10 +300,11 @@ fn serve_trace(
             "200 OK",
             "application/json",
             &report.to_chrome_trace(),
+            head_only,
         );
     }
     let body = crate::config::json::to_string_pretty(&report.to_config());
-    respond(stream, "200 OK", "application/json", &body)
+    respond(stream, "200 OK", "application/json", &body, head_only)
 }
 
 /// Extracts `name`'s value from a raw query string (`a=1&b=2`).
@@ -265,11 +342,15 @@ fn read_request_head(stream: &mut TcpStream) -> Option<String> {
     (line.split_whitespace().count() == 3).then_some(line)
 }
 
+/// Writes one response. `head_only` (a `HEAD` request) sends the exact
+/// headers a `GET` would — including the true `Content-Length` — and
+/// suppresses the body; every response carries `Connection: close`.
 fn respond(
     stream: &mut TcpStream,
     status: &str,
     content_type: &str,
     body: &str,
+    head_only: bool,
 ) -> std::io::Result<()> {
     let header = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
@@ -277,6 +358,8 @@ fn respond(
         body.len()
     );
     stream.write_all(header.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    if !head_only {
+        stream.write_all(body.as_bytes())?;
+    }
     stream.flush()
 }

@@ -8,9 +8,10 @@
 //! * [`TelemetryServer`] (see [`crate::Executor::serve_telemetry`]) — a
 //!   blocking-accept HTTP exporter serving `GET /metrics` (Prometheus text),
 //!   `GET /healthz` (liveness + sanitizer arm state, JSON), `GET /runs`
-//!   (recent flight-recorder reports, JSON), and `GET /traces` +
+//!   (recent flight-recorder reports, JSON), `GET /traces` +
 //!   `GET /traces/<id>` (the tracer's tail-sampled span trees, JSON or
-//!   Chrome-trace);
+//!   Chrome-trace), and `GET /profile` + `GET /profile/diff` (the
+//!   continuous profiler's flame aggregates, JSON or folded stacks);
 //! * [`FlightRecorder`] (see [`crate::Executor::enable_flight_recorder`]) —
 //!   a bounded ring of per-solve [`FlightReport`]s screened by stagnation /
 //!   divergence, lane-imbalance, and latency-drift detectors
@@ -107,6 +108,46 @@ pub fn render_prometheus(exec: &Executor) -> String {
             tracer.truncated_spans()
         );
     }
+    let profile = exec.profile();
+    if profile.is_armed() {
+        let _ = writeln!(
+            out,
+            "# HELP gko_profile_nodes Flame nodes allocated in the profiler's live window."
+        );
+        let _ = writeln!(out, "# TYPE gko_profile_nodes gauge");
+        let _ = writeln!(out, "gko_profile_nodes {}", profile.node_count());
+        let _ = writeln!(
+            out,
+            "# HELP gko_profile_evicted_total Spans dropped because the profiler's node cap was reached."
+        );
+        let _ = writeln!(out, "# TYPE gko_profile_evicted_total counter");
+        let _ = writeln!(out, "gko_profile_evicted_total {}", profile.evicted());
+        let _ = writeln!(
+            out,
+            "# HELP gko_profile_solves_total Solves folded into the flame aggregate since arming."
+        );
+        let _ = writeln!(out, "# TYPE gko_profile_solves_total counter");
+        let _ = writeln!(out, "gko_profile_solves_total {}", profile.solves_total());
+    }
+    // Build/uptime identity gauges, unconditional so every scrape carries
+    // them (the standard `build_info` idiom: constant 1, facts as labels).
+    let build_profile = if cfg!(debug_assertions) { "debug" } else { "release" };
+    let _ = writeln!(
+        out,
+        "# HELP gko_build_info Build identity; constant 1 with version/profile labels."
+    );
+    let _ = writeln!(out, "# TYPE gko_build_info gauge");
+    let _ = writeln!(
+        out,
+        "gko_build_info{{version=\"{}\",profile=\"{build_profile}\"}} 1",
+        env!("CARGO_PKG_VERSION")
+    );
+    let _ = writeln!(
+        out,
+        "# HELP gko_uptime_seconds Real seconds since this executor was constructed."
+    );
+    let _ = writeln!(out, "# TYPE gko_uptime_seconds gauge");
+    let _ = writeln!(out, "gko_uptime_seconds {}", exec.uptime_seconds());
     out
 }
 
@@ -165,6 +206,15 @@ pub fn health_json(exec: &Executor) -> String {
                 .with("armed", exec.tracer().is_armed())
                 .with("retained", exec.tracer().retained())
                 .with("drops", exec.tracer().drops() as i64),
-        );
+        )
+        .with(
+            "profiling",
+            Config::map()
+                .with("armed", exec.profile().is_armed())
+                .with("nodes", exec.profile().node_count())
+                .with("solves", exec.profile().solves_total() as i64)
+                .with("evicted", exec.profile().evicted() as i64),
+        )
+        .with("uptime_seconds", exec.uptime_seconds());
     json::to_string_pretty(&cfg)
 }

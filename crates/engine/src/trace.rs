@@ -760,6 +760,11 @@ impl Tracer {
     /// reading [`Tracer::active_trace_id`].
     fn finish(&self, done: FinishedTrace, exec: &Executor) {
         let mut report = done.report;
+        // Continuous profiling folds every completed trace — including the
+        // ones tail sampling is about to drop — into the flame aggregate.
+        // One relaxed load while profiling is disarmed; no tracer lock is
+        // held here, and the fold only takes the leaf `profile.state` lock.
+        exec.profile().fold(&report);
         if let Some(recorder) = exec.flight_recorder() {
             if let Some(flight) = recorder.latest() {
                 if flight.trace_id == Some(report.trace_id) {

@@ -471,6 +471,40 @@ fn unknown_method_on_traces_is_rejected() {
     server.shutdown();
 }
 
+/// Satellite: HEAD is honored on every route — identical status line and
+/// Content-Length to the corresponding GET, with the body suppressed.
+#[test]
+fn head_requests_mirror_get_headers_without_body() {
+    let exec = Executor::reference();
+    let server = exec.serve_telemetry("127.0.0.1:0").unwrap();
+    for path in ["/metrics", "/healthz", "/traces", "/profile", "/nope"] {
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(
+            stream,
+            "HEAD {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8(raw).unwrap();
+        let (head, body) = text.split_once("\r\n\r\n").unwrap();
+        assert!(body.is_empty(), "HEAD {path} must not carry a body: {body:?}");
+        let head_status = head.lines().next().unwrap().to_string();
+        let head_len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap_or_else(|| panic!("HEAD {path} lacks Content-Length:\n{head}"))
+            .parse()
+            .unwrap();
+        // The advertised length is the GET body's length, not zero.
+        let (get_status, get_body) = http_get(server.addr(), path);
+        assert_eq!(head_status, get_status, "status parity on {path}");
+        assert_eq!(head_len, get_body.len(), "length parity on {path}");
+        assert!(head_len > 0, "every route has a body under GET: {path}");
+    }
+    server.shutdown();
+}
+
 /// Satellite: concurrent `/traces` + `/traces/<id>` scrapes during an armed
 /// batched solve never observe a torn span tree — every drilled-down trace
 /// is valid JSON whose span parents all resolve within the document.

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Continuous-profiling gate: builds and runs the end-to-end profile probe,
+# which arms the flame profiler on a real omp-16 CG solve through the
+# facade, scrapes /profile (JSON + folded grammar), /profile/diff, and
+# /metrics (strict exposition + gko_profile_* / gko_build_info /
+# gko_uptime_seconds series) over raw TCP, checks HEAD parity on every
+# route, and asserts a rooted, non-empty, node-cap-bounded flame tree.
+# Then proves bench_gate's differential attribution has teeth: with a
+# uniform injected slowdown forcing regressions and one injected 100x-slow
+# kernel path (PROFILE_INJECT=csr), a csr span path must surface as the top
+# attributed regression. Run from anywhere.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p pygko-bench --bin profile_probe --bin bench_gate
+
+PYGKO_BENCH_QUICK=1 ./target/release/profile_probe
+
+# Attribution self-test: the injected slowdown must fail the gate AND the
+# injected 100x csr path must rank first among the attributed span paths.
+out="$(BENCH_GATE_INJECT=2.0 PROFILE_INJECT=csr ./target/release/bench_gate 2>&1)" && {
+    echo "check_profile: FAIL — gate accepted an injected 2x slowdown" >&2
+    exit 1
+}
+echo "$out" | grep -q "ATTRIBUTED" || {
+    echo "check_profile: FAIL — regressed run printed no ATTRIBUTED paths" >&2
+    echo "$out" >&2
+    exit 1
+}
+first_attr="$(echo "$out" | grep "ATTRIBUTED" | head -n 1)"
+echo "$first_attr" | grep -q "csr" || {
+    echo "check_profile: FAIL — injected 100x csr kernel is not the top attributed path:" >&2
+    echo "$first_attr" >&2
+    exit 1
+}
+echo "check_profile: top attribution is the injected csr path (self-test OK)"
+echo "check_profile: continuous-profiling gate OK"

@@ -30,4 +30,7 @@ PYGKO_BENCH_QUICK=1 PYGKO_RESULTS_DIR="$SMOKE_DIR" \
 # Span-tracing gate: rooted trace trees + per-dispatch chunk tiling.
 ./scripts/check_trace.sh
 
+# Continuous-profiling gate: flame endpoints + differential attribution.
+./scripts/check_profile.sh
+
 echo "verify: OK"
